@@ -1,0 +1,90 @@
+// Command benchtab regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	benchtab -table 1                 # Table 1 (topology metrics)
+//	benchtab -table 2 -nets 10000     # Table 2 at full paper scale
+//	benchtab -table 3                 # Table 3 (BST-DME vs CBS)
+//	benchtab -table 6                 # Table 6 (six open designs, 3 flows)
+//	benchtab -table 7                 # Table 7 (four ysyx designs, 3 flows)
+//	benchtab -table 7 -scale 0.25     # ysyx designs at quarter size (fast)
+//	benchtab -table all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sllt/internal/bench"
+	"sllt/internal/designgen"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to regenerate: 1|2|3|6|7|all")
+	nets := flag.Int("nets", 400, "random nets per cell for tables 2/3 (paper: 10000)")
+	seed := flag.Int64("seed", 1, "seed")
+	scale := flag.Float64("scale", 1.0, "design size scale factor for tables 6/7")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *table != "all" && *table != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: table %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("1", func() error {
+		rows, err := bench.RunTable1(bench.Table1Net())
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable1(rows))
+		return nil
+	})
+	run("2", func() error {
+		cfg := bench.DefaultT23Config()
+		cfg.Nets = *nets
+		cfg.Seed = *seed
+		cells, err := bench.RunTable2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable2(cells, cfg))
+		return nil
+	})
+	run("3", func() error {
+		cfg := bench.DefaultT23Config()
+		cfg.Nets = *nets
+		cfg.Seed = *seed
+		cells, err := bench.RunTable3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable3(cells, cfg))
+		return nil
+	})
+	run("6", func() error {
+		specs := scaleAll(bench.Table6Specs(), *scale)
+		results := bench.RunFlows(specs, *seed)
+		fmt.Println(bench.FormatFlowTable("Table 6: clock tree solutions on open designs", results))
+		return nil
+	})
+	run("7", func() error {
+		specs := scaleAll(bench.Table7Specs(), *scale)
+		results := bench.RunFlows(specs, *seed)
+		fmt.Println(bench.FormatFlowTable("Table 7: clock tree solutions on ysyx designs", results))
+		return nil
+	})
+}
+
+func scaleAll(specs []designgen.Spec, f float64) []designgen.Spec {
+	out := make([]designgen.Spec, len(specs))
+	for i, s := range specs {
+		out[i] = bench.ScaleSpec(s, f)
+	}
+	return out
+}

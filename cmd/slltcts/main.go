@@ -1,0 +1,99 @@
+// Command slltcts runs the full hierarchical clock tree synthesis flow on a
+// LEF/DEF design and writes the post-CTS DEF plus a timing report.
+//
+// Usage:
+//
+//	slltcts -lef design.lef -def design.def [-net clk] [-engine ours|commercial|openroad]
+//	        [-out cts.def] [-skew 80] [-fanout 32] [-cap 150]
+//
+// The engine names select the paper's flow ("ours", CBS-based) or one of
+// the two baseline proxies used in Tables 6/7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sllt/internal/baseline"
+	"sllt/internal/cts"
+	"sllt/internal/design"
+	"sllt/internal/lefdef"
+)
+
+func main() {
+	lefPath := flag.String("lef", "", "input LEF file (required)")
+	defPath := flag.String("def", "", "input DEF file (required)")
+	netName := flag.String("net", "", "clock net name (default: first USE CLOCK net)")
+	engine := flag.String("engine", "ours", "flow: ours | commercial | openroad")
+	outPath := flag.String("out", "", "output post-CTS DEF file")
+	skew := flag.Float64("skew", 80, "skew bound, ps")
+	fanout := flag.Int("fanout", 32, "max fanout per clock net")
+	maxCap := flag.Float64("cap", 150, "max stage capacitance, fF")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *lefPath == "" || *defPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	lefSrc, err := os.ReadFile(*lefPath)
+	fatal(err)
+	defSrc, err := os.ReadFile(*defPath)
+	fatal(err)
+	lef, err := lefdef.ParseLEF(string(lefSrc))
+	fatal(err)
+	df, err := lefdef.ParseDEF(string(defSrc))
+	fatal(err)
+	d, err := design.FromLEFDEF(lef, df, *netName)
+	fatal(err)
+
+	var opts cts.Options
+	switch *engine {
+	case "ours":
+		opts = cts.DefaultOptions()
+	case "commercial":
+		opts = baseline.CommercialLike()
+	case "openroad":
+		opts = baseline.OpenROADLike()
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	opts.Cons.SkewBound = *skew
+	opts.Cons.MaxFanout = *fanout
+	opts.Cons.MaxCap = *maxCap
+	opts.Seed = *seed
+
+	fmt.Printf("slltcts: %s — %d instances, %d clock sinks, die %.0fx%.0f um\n",
+		d.Name, len(d.Insts), d.NumFFs(), d.Die.W(), d.Die.H())
+	start := time.Now()
+	res, err := cts.Run(d, opts)
+	fatal(err)
+	rt := time.Since(start)
+
+	r := res.Report
+	fmt.Printf("engine        : %s\n", *engine)
+	fmt.Printf("levels        : %d (clusters per level: %v)\n", res.Levels, res.Clusters)
+	fmt.Printf("max latency   : %.1f ps\n", r.MaxLatency)
+	fmt.Printf("skew          : %.1f ps (bound %.0f)\n", r.Skew, *skew)
+	fmt.Printf("buffers       : %d (area %.1f um2)\n", r.Buffers, r.BufArea)
+	fmt.Printf("clock cap     : %.1f fF\n", r.ClockCap)
+	fmt.Printf("clock WL      : %.1f um\n", r.WL)
+	fmt.Printf("max stage cap : %.1f fF (limit %.0f)\n", r.MaxStgCap, *maxCap)
+	fmt.Printf("max sink slew : %.1f ps\n", r.MaxSlew)
+	fmt.Printf("runtime       : %.2f s\n", rt.Seconds())
+
+	if *outPath != "" {
+		out := cts.ExportDEF(d, res)
+		fatal(os.WriteFile(*outPath, []byte(out.WriteDEF()), 0o644))
+		fmt.Printf("wrote %s (%d components, %d nets)\n", *outPath, len(out.Components), len(out.Nets))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slltcts:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+// Command treeviz reproduces the paper's Fig. 1: it builds one clock net
+// with each of the seven routing-topology algorithms and writes an SVG per
+// algorithm, plus the Table-1-style metric comparison to stdout.
+//
+// Usage:
+//
+//	treeviz -out fig1/                # the demonstration net
+//	treeviz -out fig1/ -pins 24 -seed 7 -box 75
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sllt/internal/bench"
+	"sllt/internal/viz"
+)
+
+func main() {
+	outDir := flag.String("out", "fig1", "output directory for SVG files")
+	pins := flag.Int("pins", 0, "random net pin count (0 = the Table 1 demonstration net)")
+	box := flag.Float64("box", 75, "random net box, um")
+	seed := flag.Int64("seed", 1, "random net seed")
+	flag.Parse()
+
+	net := bench.Table1Net()
+	if *pins > 0 {
+		cfg := bench.DefaultNetConfig()
+		cfg.Box = *box
+		cfg.MinPins = *pins
+		cfg.MaxPins = *pins
+		net = cfg.Random(rand.New(rand.NewSource(*seed)))
+	}
+
+	rows, err := bench.RunTable1(net)
+	fatal(err)
+	fmt.Print(bench.FormatTable1(rows))
+
+	fatal(os.MkdirAll(*outDir, 0o755))
+	for _, r := range rows {
+		m := r.Metrics
+		title := fmt.Sprintf("%s  α=%.2f β=%.2f γ=%.2f", r.Name, m.Alpha, m.Beta, m.Gamma)
+		svg := viz.SVG(r.Tree, viz.DefaultStyle(title))
+		name := strings.ToLower(strings.ReplaceAll(strings.TrimSuffix(r.Name, "*"), "-", ""))
+		path := filepath.Join(*outDir, fmt.Sprintf("fig1_%s.svg", name))
+		fatal(os.WriteFile(path, []byte(svg), 0o644))
+		fmt.Println("wrote", path)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treeviz:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package sllt reproduces "Toward Controllable Hierarchical Clock Tree
+// Synthesis with Skew-Latency-Load Tree" (DAC 2024): the SLLT metrics, the
+// CBS (Concurrent BST and SALT) routing-topology construction, and the full
+// hierarchical clock tree synthesis framework with partitioning and buffer
+// optimization, together with every substrate they need (geometry, DME,
+// SALT, RSMT, LEF/DEF/Liberty parsing, STA-lite) built from scratch on the
+// Go standard library.
+//
+// The root package holds the benchmark harness (bench_test.go) that
+// regenerates the paper's tables and figures; the implementation lives
+// under internal/ (see DESIGN.md for the system inventory) and the runnable
+// entry points under cmd/ and examples/.
+package sllt

@@ -1,0 +1,58 @@
+// Full flow: synthesize a clock tree for a generated benchmark design with
+// all three competing flows (ours / commercial-like / OpenROAD-like) and
+// print a Table-6-style comparison row, demonstrating the complete
+// hierarchical CTS pipeline: LEF/DEF round trip, partitioning, CBS routing
+// topology, buffering and STA.
+//
+// Run: go run ./examples/fullflow            (s38584 statistics)
+//
+//	go run ./examples/fullflow -design ethernet -scale 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sllt/internal/bench"
+	"sllt/internal/design"
+	"sllt/internal/designgen"
+	"sllt/internal/lefdef"
+	"sllt/internal/liberty"
+)
+
+func main() {
+	name := flag.String("design", "s38584", "Table 4 design name")
+	scale := flag.Float64("scale", 1.0, "shrink factor for quick runs")
+	seed := flag.Int64("seed", 1, "placement seed")
+	flag.Parse()
+
+	spec, err := designgen.FindSpec(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec = bench.ScaleSpec(spec, *scale)
+
+	// Exercise the real input path: generate, serialize to LEF/DEF, parse
+	// back, and rebuild the design database from the files.
+	gen := designgen.Generate(spec, *seed)
+	lefSrc := designgen.LEF(designgen.BufferMacros(liberty.Default())).WriteLEF()
+	defSrc := designgen.DEF(gen).WriteDEF()
+	lef, err := lefdef.ParseLEF(lefSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	df, err := lefdef.ParseDEF(defSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := design.FromLEFDEF(lef, df, "clk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %s: %d instances, %d clock sinks, die %.0fx%.0f um\n\n",
+		d.Name, len(d.Insts), d.NumFFs(), d.Die.W(), d.Die.H())
+
+	results := bench.RunFlows([]designgen.Spec{spec}, *seed)
+	fmt.Print(bench.FormatFlowTable("Flow comparison (Table 6 format)", results))
+}

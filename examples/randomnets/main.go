@@ -1,0 +1,35 @@
+// Random nets: a reduced-scale run of the paper's Table 2 and Table 3
+// experiments — 10–40-pin clock nets in a 75 µm box, comparing CBS against
+// R-SALT (wirelength under skew control) and against BST-DME (wirelength,
+// load capacitance, wire delay).
+//
+// Run: go run ./examples/randomnets          (200 nets per cell)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sllt/internal/bench"
+)
+
+func main() {
+	nets := flag.Int("nets", 200, "nets per table cell (the paper uses 10000)")
+	flag.Parse()
+
+	cfg := bench.DefaultT23Config()
+	cfg.Nets = *nets
+
+	t2, err := bench.RunTable2(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatTable2(t2, cfg))
+
+	t3, err := bench.RunTable3(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bench.FormatTable3(t3, cfg))
+}

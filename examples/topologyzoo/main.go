@@ -1,0 +1,42 @@
+// Topology zoo: build the same clock net with all seven routing-topology
+// algorithms of the paper's Table 1 / Fig. 1 — H-tree, GH-tree, ZST-DME,
+// BST-DME, the RSMT (FLUTE substitute), R-SALT and CBS — print the metric
+// comparison and write an SVG rendering of each tree.
+//
+// Run: go run ./examples/topologyzoo
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sllt/internal/bench"
+	"sllt/internal/viz"
+)
+
+func main() {
+	net := bench.Table1Net()
+	rows, err := bench.RunTable1(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatTable1(rows))
+
+	dir := "topologyzoo_out"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		m := r.Metrics
+		title := fmt.Sprintf("%s  α=%.2f β=%.2f γ=%.2f", r.Name, m.Alpha, m.Beta, m.Gamma)
+		name := strings.ToLower(strings.TrimSuffix(r.Name, "*"))
+		path := filepath.Join(dir, name+".svg")
+		if err := os.WriteFile(path, []byte(viz.SVG(r.Tree, viz.DefaultStyle(title))), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nSVG gallery written to %s/ (the paper's Fig. 1)\n", dir)
+}

@@ -1,0 +1,3 @@
+module sllt
+
+go 1.22

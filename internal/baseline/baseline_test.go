@@ -1,0 +1,65 @@
+package baseline
+
+import (
+	"testing"
+
+	"sllt/internal/cts"
+	"sllt/internal/designgen"
+)
+
+// The proxies must reproduce the paper's qualitative profile (Tables 6/7).
+// Individual designs are noisy, so the comparison aggregates several
+// synthetic designs: OpenROAD-like loses on latency, skew, buffer count,
+// area and capacitance; the commercial proxy stays in our ballpark.
+func TestBaselineProfiles(t *testing.T) {
+	type agg struct {
+		lat, skew, area, cap, wl float64
+		bufs                     int
+	}
+	var ours, or, com agg
+
+	for seed := int64(5); seed < 8; seed++ {
+		spec := designgen.Spec{Name: "prof", Insts: 3000, FFs: 600, Util: 0.62}
+		d := designgen.Generate(spec, seed)
+		run := func(opts cts.Options, a *agg) {
+			res, err := cts.Run(d, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Tree.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			a.lat += res.Report.MaxLatency
+			a.skew += res.Report.Skew
+			a.area += res.Report.BufArea
+			a.cap += res.Report.ClockCap
+			a.wl += res.Report.WL
+			a.bufs += res.Report.Buffers
+		}
+		run(cts.DefaultOptions(), &ours)
+		run(OpenROADLike(), &or)
+		run(CommercialLike(), &com)
+	}
+
+	if or.lat <= ours.lat {
+		t.Errorf("OpenROAD-like latency %.1f not above ours %.1f", or.lat, ours.lat)
+	}
+	if or.skew <= ours.skew {
+		t.Errorf("OpenROAD-like skew %.1f not above ours %.1f", or.skew, ours.skew)
+	}
+	if or.bufs <= ours.bufs {
+		t.Errorf("OpenROAD-like buffers %d not above ours %d", or.bufs, ours.bufs)
+	}
+	if or.area <= ours.area {
+		t.Errorf("OpenROAD-like buffer area %.1f not above ours %.1f", or.area, ours.area)
+	}
+	if or.cap <= ours.cap {
+		t.Errorf("OpenROAD-like clock cap %.1f not above ours %.1f", or.cap, ours.cap)
+	}
+	if r := com.lat / ours.lat; r < 0.8 || r > 1.4 {
+		t.Errorf("commercial latency ratio %.2f out of band", r)
+	}
+	if r := com.wl / ours.wl; r < 0.8 || r > 1.1 {
+		t.Errorf("commercial WL ratio %.2f out of band", r)
+	}
+}

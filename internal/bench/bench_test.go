@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sllt/internal/designgen"
+	"sllt/internal/dme"
+)
+
+func TestRandomNetRespectsConfig(t *testing.T) {
+	cfg := DefaultNetConfig()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		net := cfg.Random(rng)
+		if err := net.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(net.Sinks) < cfg.MinPins || len(net.Sinks) > cfg.MaxPins {
+			t.Fatalf("pin count %d outside [%d,%d]", len(net.Sinks), cfg.MinPins, cfg.MaxPins)
+		}
+		for _, s := range net.Sinks {
+			if s.Loc.X < 0 || s.Loc.X > cfg.Box || s.Loc.Y < 0 || s.Loc.Y > cfg.Box {
+				t.Fatalf("pin outside box: %v", s.Loc)
+			}
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := RunTable1(Table1Net())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	get := func(name string) AlgoRow {
+		for _, r := range rows {
+			if r.Name == name {
+				return r
+			}
+		}
+		t.Fatalf("row %s missing", name)
+		return AlgoRow{}
+	}
+	// The orderings Table 1 demonstrates:
+	if zst := get("ZST"); zst.Metrics.Gamma > 1+1e-9 {
+		t.Errorf("ZST skewness = %g, want 1", zst.Metrics.Gamma)
+	}
+	if salt := get("R-SALT"); salt.Metrics.Alpha > 1+1e-9 {
+		t.Errorf("R-SALT shallowness = %g, want 1", salt.Metrics.Alpha)
+	}
+	flute := get("FLUTE*")
+	for _, r := range rows {
+		if r.Metrics.Beta < flute.Metrics.Beta-1e-9 {
+			t.Errorf("%s lighter (β=%.3f) than the RSMT reference (%.3f)", r.Name, r.Metrics.Beta, flute.Metrics.Beta)
+		}
+	}
+	cbs := get("CBS")
+	zst := get("ZST")
+	if cbs.Metrics.Alpha >= zst.Metrics.Alpha {
+		t.Errorf("CBS alpha %.3f not below ZST %.3f", cbs.Metrics.Alpha, zst.Metrics.Alpha)
+	}
+	if cbs.Metrics.Mean() >= get("H-tree").Metrics.Mean() {
+		t.Errorf("CBS mean %.3f not below H-tree %.3f", cbs.Metrics.Mean(), get("H-tree").Metrics.Mean())
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "CBS") || !strings.Contains(out, "α") {
+		t.Error("format output incomplete")
+	}
+}
+
+func TestTable2ShapeMatchesPaper(t *testing.T) {
+	cfg := DefaultT23Config()
+	cfg.Nets = 40
+	cfg.Methods = []dme.TopoMethod{dme.GreedyDist}
+	cells, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// The paper's shape: CBS at or below R-SALT wirelength at relaxed and
+	// moderate bounds; near parity at the stringent bound.
+	for _, c := range cells {
+		if c.Bound >= 10 && c.CBS > c.RSALT*1.01 {
+			t.Errorf("bound %g: CBS WL %.1f above R-SALT %.1f", c.Bound, c.CBS, c.RSALT)
+		}
+		if c.Bound == 5 && c.CBS > c.RSALT*1.05 {
+			t.Errorf("stringent bound: CBS WL %.1f far above R-SALT %.1f", c.CBS, c.RSALT)
+		}
+	}
+	_ = FormatTable2(cells, cfg)
+}
+
+func TestTable3ShapeMatchesPaper(t *testing.T) {
+	cfg := DefaultT23Config()
+	cfg.Nets = 40
+	cells, err := RunTable3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		// Who wins: CBS reduces WL, cap and delay versus BST-DME at every
+		// bound (the paper reports 15-27% reductions).
+		if c.CBSWL >= c.BSTWL {
+			t.Errorf("bound %g: CBS WL %.1f not below BST %.1f", c.Bound, c.CBSWL, c.BSTWL)
+		}
+		if c.CBSCap >= c.BSTCap {
+			t.Errorf("bound %g: CBS cap %.1f not below BST %.1f", c.Bound, c.CBSCap, c.BSTCap)
+		}
+		if c.CBSDelay >= c.BSTDelay {
+			t.Errorf("bound %g: CBS delay %.2f not below BST %.2f", c.Bound, c.CBSDelay, c.BSTDelay)
+		}
+		// Roughly paper-sized factors: at least 5% WL reduction.
+		if red := (c.BSTWL - c.CBSWL) / c.BSTWL; red < 0.05 {
+			t.Errorf("bound %g: WL reduction only %.1f%%", c.Bound, red*100)
+		}
+	}
+	_ = FormatTable3(cells, cfg)
+}
+
+func TestRunFlowsSmall(t *testing.T) {
+	spec := ScaleSpec(Table6Specs()[0], 0.2) // s38584 at 20%
+	rs := RunFlows([]designgen.Spec{spec}, 1)
+	if len(rs) != 3 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("%s/%s: %v", r.Design, r.Flow, r.Err)
+		}
+		if r.Latency <= 0 || r.Buffers == 0 {
+			t.Errorf("%s/%s: implausible result %+v", r.Design, r.Flow, r)
+		}
+	}
+	out := FormatFlowTable("test", rs)
+	if !strings.Contains(out, "Avg.") {
+		t.Error("missing Avg. row")
+	}
+}

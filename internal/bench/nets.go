@@ -1,0 +1,56 @@
+// Package bench contains the workload generators and harnesses that
+// regenerate every table and figure of the paper's evaluation:
+//
+//	Table 1  — routing-topology metrics (α, β, γ) on a demonstration net
+//	Table 2  — R-SALT vs CBS wirelength across skew bounds and topologies
+//	Table 3  — BST-DME vs CBS wirelength / capacitance / wire delay
+//	Tables 6 and 7 — full hierarchical flow vs the commercial-like and
+//	                 OpenROAD-like baselines on Table 4's designs
+//	Fig. 1   — the topology gallery (via internal/viz)
+//
+// Harnesses return structured rows (for tests and testing.B benchmarks) and
+// format them as the paper's tables (for cmd/benchtab and the examples).
+package bench
+
+import (
+	"math/rand"
+
+	"sllt/internal/geom"
+	"sllt/internal/tree"
+)
+
+// NetConfig describes the random clock-net workload of Tables 2 and 3: nets
+// inside a box (the paper uses 75 µm), pin counts uniform in [MinPins,
+// MaxPins] (the paper uses 10–40), driver at the box center.
+type NetConfig struct {
+	Box     float64
+	MinPins int
+	MaxPins int
+	SinkCap float64 // fF per load pin
+}
+
+// DefaultNetConfig returns the paper's Table 2/3 workload parameters.
+func DefaultNetConfig() NetConfig {
+	return NetConfig{Box: 75, MinPins: 10, MaxPins: 40, SinkCap: 1.2}
+}
+
+// Random generates one clock net. Pin locations are snapped to a 0.1 µm
+// grid and deduplicated.
+func (c NetConfig) Random(rng *rand.Rand) *tree.Net {
+	n := c.MinPins + rng.Intn(c.MaxPins-c.MinPins+1)
+	net := &tree.Net{Name: "rnd", Source: geom.Pt(c.Box/2, c.Box/2)}
+	used := map[geom.Point]bool{net.Source: true}
+	for len(net.Sinks) < n {
+		p := geom.Pt(snap(rng.Float64()*c.Box), snap(rng.Float64()*c.Box))
+		if used[p] {
+			continue
+		}
+		used[p] = true
+		net.Sinks = append(net.Sinks, tree.PinSink{Name: "p", Loc: p, Cap: c.SinkCap})
+	}
+	return net
+}
+
+func snap(x float64) float64 {
+	return float64(int(x*10+0.5)) / 10
+}

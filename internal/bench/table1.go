@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"sllt/internal/core"
+	"sllt/internal/dme"
+	"sllt/internal/geom"
+	"sllt/internal/htree"
+	"sllt/internal/rsmt"
+	"sllt/internal/salt"
+	"sllt/internal/tree"
+)
+
+// AlgoRow is one Table 1 line: a routing topology and its SLLT metrics.
+type AlgoRow struct {
+	Name        string
+	Metrics     tree.Metrics
+	SkewControl bool
+	Tree        *tree.Tree
+}
+
+// Table1Net returns the demonstration net used for Table 1 and the Fig. 1
+// gallery: eight load pins around a central driver inside a 10×10 box. The
+// paper's exact pin placement is not published; this net mirrors its
+// Manhattan-distance profile (min MD 5, max MD 8 — compare the paper's
+// FLUTE row with MinPL 5 and MaxPL 9), which is what makes the α/β/γ
+// orderings in the table land the same way.
+func Table1Net() *tree.Net {
+	return &tree.Net{
+		Name:   "demo8",
+		Source: geom.Pt(5, 5),
+		Sinks: []tree.PinSink{
+			{Name: "s1", Loc: geom.Pt(1, 2), Cap: 1.2}, // MD 7
+			{Name: "s2", Loc: geom.Pt(2, 8), Cap: 1.2}, // MD 6
+			{Name: "s3", Loc: geom.Pt(8, 1), Cap: 1.2}, // MD 7
+			{Name: "s4", Loc: geom.Pt(9, 4), Cap: 1.2}, // MD 5
+			{Name: "s5", Loc: geom.Pt(9, 9), Cap: 1.2}, // MD 8
+			{Name: "s6", Loc: geom.Pt(5, 0), Cap: 1.2}, // MD 5
+			{Name: "s7", Loc: geom.Pt(0, 5), Cap: 1.2}, // MD 5
+			{Name: "s8", Loc: geom.Pt(3, 9), Cap: 1.2}, // MD 6
+		},
+	}
+}
+
+// RunTable1 builds the net with each of the seven algorithms of Table 1 and
+// measures shallowness, lightness and skewness. The skew bound for the
+// bounded algorithms is 10 % of the net's half-perimeter, mirroring the
+// moderate regime of the paper's example.
+func RunTable1(net *tree.Net) ([]AlgoRow, error) {
+	refWL := rsmt.WL(net)
+	bound := net.BBox().HalfPerimeter() * 0.10
+
+	var rows []AlgoRow
+	add := func(name string, t *tree.Tree, skewCtl bool) {
+		rows = append(rows, AlgoRow{
+			Name:        name,
+			Metrics:     tree.Measure(t, net, refWL),
+			SkewControl: skewCtl,
+			Tree:        t,
+		})
+	}
+
+	add("H-tree", htree.Build(net), true)
+	add("GH-tree", htree.BuildGH(net, htree.DefaultFactors(len(net.Sinks))), true)
+
+	topo := dme.GenTopo(net, dme.GreedyDist, 0)
+	zst, err := dme.Build(net, topo, dme.ZST())
+	if err != nil {
+		return nil, fmt.Errorf("table1 ZST: %w", err)
+	}
+	add("ZST", zst, true)
+
+	btopo := dme.GenTopo(net, dme.GreedyDist, bound)
+	bst, err := dme.Build(net, btopo, dme.BST(bound))
+	if err != nil {
+		return nil, fmt.Errorf("table1 BST: %w", err)
+	}
+	add("BST", bst, true)
+
+	add("FLUTE*", rsmt.Build(net), false)
+	add("R-SALT", salt.Build(net, 0), false)
+
+	cbsOpts := core.DefaultOptions(bound)
+	cbs, err := core.Build(net, cbsOpts)
+	if err != nil {
+		return nil, fmt.Errorf("table1 CBS: %w", err)
+	}
+	add("CBS", cbs, true)
+	return rows, nil
+}
+
+// FormatTable1 renders rows in the paper's Table 1 layout.
+func FormatTable1(rows []AlgoRow) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Different routing topologies on net (α shallowness, β lightness, γ skewness)\n")
+	fmt.Fprintf(&b, "%-9s %7s %7s %8s %8s %6s %6s %6s %6s  %s\n",
+		"Algo", "MaxPL", "MinPL", "TotalWL", "MeanPL", "α", "β", "γ", "Mean", "SkewCtl")
+	for _, r := range rows {
+		ctl := "x"
+		if r.SkewControl {
+			ctl = "v"
+		}
+		m := r.Metrics
+		fmt.Fprintf(&b, "%-9s %7.2f %7.2f %8.2f %8.2f %6.2f %6.2f %6.2f %6.2f  %s\n",
+			r.Name, m.MaxPL, m.MinPL, m.WL, m.MeanPL, m.Alpha, m.Beta, m.Gamma, m.Mean(), ctl)
+	}
+	b.WriteString("* FLUTE substituted by the internal RSMT heuristic (see DESIGN.md)\n")
+	return b.String()
+}

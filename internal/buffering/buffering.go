@@ -1,0 +1,332 @@
+// Package buffering implements the paper's §3.4 buffering optimization:
+// the critical-wirelength criterion for repeater insertion derived from the
+// linear buffer delay model (Equation 6), the Equation-7 insertion-delay
+// lower bound used to pre-annotate nodes before their drivers are chosen,
+// and the tree transformation that inserts drivers and repeaters.
+package buffering
+
+import (
+	"math"
+
+	"sllt/internal/liberty"
+	"sllt/internal/tech"
+	"sllt/internal/tree"
+)
+
+// Inserter drives buffer insertion over clock trees.
+type Inserter struct {
+	Lib  *liberty.Library
+	Tech tech.Tech
+	// MaxCap is the per-stage load limit in fF (Table 5 uses 150 fF).
+	MaxCap float64
+	// Margin derates cell max_capacitance when choosing drive strengths.
+	Margin float64
+	// NominalSlew is the assumed input slew (ps) for critical-length math.
+	NominalSlew float64
+	// MaxWireDelay caps the Elmore delay any single unbuffered wire may
+	// contribute; edges above it get a decoupling repeater at the load end.
+	// The cap matters on die-spanning trunks, where the r·L·C cross term
+	// dwarfs what the critical-length formula (which assumes a fixed
+	// decoupled load) accounts for.
+	MaxWireDelay float64
+	// ForceCell, when non-empty, overrides load-based sizing with one fixed
+	// cell (the OpenROAD-like baseline drives everything with large
+	// buffers).
+	ForceCell string
+}
+
+// pick returns the cell for a stage load, honoring ForceCell. Sizing is
+// delay-aware: among cells whose derated max_capacitance covers the load,
+// the smallest cell within 10 % of the best achievable delay wins — the
+// standard speed/area trade real sizers make.
+func (ins *Inserter) pick(load float64) *liberty.BufferCell {
+	if ins.ForceCell != "" {
+		if c := ins.Lib.Cell(ins.ForceCell); c != nil {
+			return c
+		}
+	}
+	slew := ins.NominalSlew
+	best := ins.Lib.Strongest()
+	bestDelay := best.Delay(slew, load)
+	for _, c := range ins.Lib.Cells {
+		if load > c.MaxCap*ins.Margin {
+			continue
+		}
+		if d := c.Delay(slew, load); d < bestDelay {
+			best, bestDelay = c, d
+		}
+	}
+	for _, c := range ins.Lib.Cells { // smallest within 10% of best
+		if load > c.MaxCap*ins.Margin {
+			continue
+		}
+		if c.Delay(slew, load) <= bestDelay*1.10 {
+			return c
+		}
+	}
+	return best
+}
+
+// NewInserter returns an inserter with the repository defaults.
+func NewInserter(lib *liberty.Library, tc tech.Tech, maxCap float64) *Inserter {
+	return &Inserter{Lib: lib, Tech: tc, MaxCap: maxCap, Margin: 0.9, NominalSlew: 20, MaxWireDelay: 20}
+}
+
+// CriticalLength evaluates the paper's critical wirelength for the given
+// cell: the wire length at which splitting the wire with one more buffer
+// stops paying for itself,
+//
+//	L̂ = 2·sqrt((ωc·Cap + ωi) / (r·c·(ln9·ωs + 1))).
+//
+// cap is the capacitance the inserted buffer would decouple (the paper
+// refines Cap_pin to Cap_load).
+func (ins *Inserter) CriticalLength(cell *liberty.BufferCell, cap float64) float64 {
+	r, c := ins.Tech.RPerUm, ins.Tech.CPerUm
+	den := r * c * (math.Log(9)*cell.WS + 1)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return 2 * math.Sqrt((cell.WC*cap+cell.WI)/den)
+}
+
+// LowerBound evaluates Equation (7) for a node with the given downstream
+// load: the most conservative insertion-delay estimate across the library.
+func (ins *Inserter) LowerBound(capLoad float64) float64 {
+	return ins.Lib.InsertionDelayLowerBound(capLoad)
+}
+
+// BufferTree inserts a driver at the tree root and repeaters so that no
+// stage exceeds the cap limit and no unbuffered wire run exceeds the
+// critical length. Cells are sized to their stage loads. Returns the number
+// of buffers inserted. The tree is modified in place.
+func (ins *Inserter) BufferTree(t *tree.Tree) int {
+	if t == nil || t.Root == nil {
+		return 0
+	}
+	// Pass 1: break long edges so repeater sites exist mid-wire. The
+	// smallest cell's critical length at typical loads is the conservative
+	// segment ceiling.
+	lhat := ins.CriticalLength(ins.Lib.Smallest(), ins.MaxCap/2)
+	splitLongEdges(t, lhat)
+
+	// Pass 2: bottom-up cap-driven insertion. Accumulate stage cap; when a
+	// node's downstream cone exceeds the limit, decouple the heaviest child
+	// subtrees behind buffers until the cone fits, falling back to a buffer
+	// at the node itself when a single cone is simply too big.
+	inserted := 0
+	trigger := ins.MaxCap * ins.Margin
+	var build func(n *tree.Node) float64
+	build = func(n *tree.Node) float64 {
+		type contrib struct {
+			ch   *tree.Node
+			load float64
+		}
+		var kids []contrib
+		var cone float64
+		for _, ch := range n.Children {
+			// Capture the edge wire before build can re-stage ch: if a
+			// buffer lands above ch, the same wire now feeds the buffer.
+			wcap := ins.Tech.WireCap(ch.EdgeLen)
+			load := wcap + build(ch)
+			kids = append(kids, contrib{ch, load})
+			cone += load
+		}
+		switch n.Kind {
+		case tree.Sink:
+			return n.PinCap
+		case tree.Buffer:
+			return n.PinCap
+		}
+		for cone > trigger && len(kids) > 1 {
+			// Decouple the heaviest child.
+			hi := 0
+			for i := range kids {
+				if kids[i].load > kids[hi].load {
+					hi = i
+				}
+			}
+			k := kids[hi]
+			childCone := k.load - ins.Tech.WireCap(k.ch.EdgeLen)
+			cell := ins.pick(childCone)
+			if childCone <= cell.InputCap || insertBufferAbove(k.ch, cell) == nil {
+				break // decoupling would not reduce the cone
+			}
+			inserted++
+			cone += -childCone + cell.InputCap
+			kids[hi].load = ins.Tech.WireCap(k.ch.EdgeLen) + cell.InputCap
+		}
+		if n.Parent != nil && cone > trigger {
+			cell := ins.pick(cone)
+			if insertBufferAbove(n, cell) != nil {
+				inserted++
+				return cell.InputCap
+			}
+		}
+		return cone
+	}
+	rootCone := build(t.Root)
+
+	// Pass 2b: decouple slow wires. A long trunk whose downstream stage
+	// capacitance rides along pays r·L·C in Elmore delay; a repeater at its
+	// load end cuts the wire's burden to r·L·(c·L/2 + Cin).
+	inserted += ins.DecoupleSlowWires(t)
+
+	// Pass 3: root driver sized for whatever remains at the source — unless
+	// pass 2 already left a buffer right at the top with next to nothing in
+	// front of it, in which case another driver would only burn a stage of
+	// intrinsic delay.
+	if len(t.Root.Children) == 1 && t.Root.Children[0].Kind == tree.Buffer &&
+		rootCone <= ins.Lib.Smallest().MaxCap*ins.Margin {
+		return inserted
+	}
+	cell := ins.pick(rootCone)
+	if len(t.Root.Children) > 0 {
+		buf := tree.NewNode(tree.Buffer, t.Root.Loc)
+		buf.BufCell = cell.Name
+		buf.PinCap = cell.InputCap
+		kids := append([]*tree.Node(nil), t.Root.Children...)
+		lens := make([]float64, len(kids))
+		for i, ch := range kids {
+			lens[i] = ch.EdgeLen
+			ch.Detach()
+		}
+		t.Root.AddChild(buf)
+		for i, ch := range kids {
+			buf.Children = append(buf.Children, ch)
+			ch.Parent = buf
+			ch.EdgeLen = lens[i] // the buffer sits at the root's location
+		}
+		inserted++
+	}
+	return inserted
+}
+
+// DecoupleSlowWires inserts a repeater at the load end of every in-stage
+// edge whose Elmore contribution exceeds MaxWireDelay, iterating because an
+// insertion re-partitions the stage capacitances. BufferTree runs it as its
+// pass 2b; flows also re-run it after skew repair, whose snaking otherwise
+// leaves long high-capacitance serpentines loading shared stages.
+func (ins *Inserter) DecoupleSlowWires(t *tree.Tree) int {
+	if ins.MaxWireDelay <= 0 {
+		return 0
+	}
+	total := 0
+	for iter := 0; iter < 128; iter++ {
+		// Stage capacitance below each node (cut at buffer inputs).
+		caps := make(map[*tree.Node]float64)
+		var capOf func(n *tree.Node) float64
+		capOf = func(n *tree.Node) float64 {
+			switch n.Kind {
+			case tree.Sink:
+				caps[n] = n.PinCap
+				return n.PinCap
+			case tree.Buffer:
+				for _, c := range n.Children {
+					capOf(c)
+				}
+				caps[n] = n.PinCap
+				return n.PinCap
+			}
+			var c float64
+			for _, ch := range n.Children {
+				c += ins.Tech.WireCap(ch.EdgeLen) + capOf(ch)
+			}
+			caps[n] = c
+			return c
+		}
+		capOf(t.Root)
+
+		var worst *tree.Node
+		worstD := ins.MaxWireDelay
+		t.Walk(func(n *tree.Node) bool {
+			if n.Parent == nil {
+				return true
+			}
+			if d := ins.Tech.WireElmore(n.EdgeLen, caps[n]); d > worstD {
+				worstD, worst = d, n
+			}
+			return true
+		})
+		if worst == nil {
+			return total
+		}
+		cell := ins.pick(caps[worst])
+		if caps[worst] <= cell.InputCap || insertBufferAbove(worst, cell) == nil {
+			return total
+		}
+		total++
+	}
+	return total
+}
+
+// splitLongEdges subdivides every edge longer than lhat into segments of at
+// most lhat, inserting Steiner nodes (repeater sites for pass 2 — they only
+// become buffers if the cap criterion also fires) and direct repeaters for
+// truly long runs.
+func splitLongEdges(t *tree.Tree, lhat float64) {
+	if lhat <= 0 || math.IsInf(lhat, 1) {
+		return
+	}
+	var work []*tree.Node
+	t.Walk(func(n *tree.Node) bool {
+		if n.Parent != nil && n.EdgeLen > lhat {
+			work = append(work, n)
+		}
+		return true
+	})
+	for _, n := range work {
+		for n.EdgeLen > lhat {
+			st := tree.SplitEdge(n, lhat)
+			if st == nil {
+				break
+			}
+			// Keep splitting the remainder (n's edge shrank).
+		}
+	}
+}
+
+// insertBufferAbove converts the edge into n into a buffered stage: a new
+// buffer node takes n's place under its parent at n's own location, with n
+// re-attached below at zero distance.
+func insertBufferAbove(n *tree.Node, cell *liberty.BufferCell) *tree.Node {
+	p := n.Parent
+	if p == nil {
+		return nil
+	}
+	buf := tree.NewNode(tree.Buffer, n.Loc)
+	buf.BufCell = cell.Name
+	buf.PinCap = cell.InputCap
+	buf.Parent = p
+	buf.EdgeLen = n.EdgeLen
+	for i, c := range p.Children {
+		if c == n {
+			p.Children[i] = buf
+			break
+		}
+	}
+	n.Parent = buf
+	n.EdgeLen = 0
+	buf.Children = []*tree.Node{n}
+	return buf
+}
+
+// RepeaterizePath inserts repeaters every critical length along the path
+// from the root to the given node, sized for the accumulated wire cap. Used
+// by flows that buffer top-level trunks explicitly.
+func (ins *Inserter) RepeaterizePath(t *tree.Tree, n *tree.Node) int {
+	count := 0
+	lhat := ins.CriticalLength(ins.Lib.Strongest(), ins.MaxCap/2)
+	for v := n; v != nil && v.Parent != nil; v = v.Parent {
+		for v.EdgeLen > lhat {
+			st := tree.SplitEdge(v, lhat)
+			if st == nil {
+				break
+			}
+			cell := ins.Lib.PickForLoad(ins.Tech.WireCap(lhat)+ins.MaxCap/2, ins.Margin)
+			if b := insertBufferAbove(st, cell); b != nil {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,140 @@
+package buffering
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sllt/internal/core"
+	"sllt/internal/dme"
+	"sllt/internal/geom"
+	"sllt/internal/liberty"
+	"sllt/internal/tech"
+	"sllt/internal/timing"
+	"sllt/internal/tree"
+)
+
+func setup() (*Inserter, tech.Tech, *liberty.Library) {
+	tc := tech.Default28nm()
+	lib := liberty.Default()
+	return NewInserter(lib, tc, 150), tc, lib
+}
+
+func TestCriticalLengthFormula(t *testing.T) {
+	ins, tc, lib := setup()
+	cell := lib.Cell("CLKBUFX4")
+	cap := 30.0
+	want := 2 * math.Sqrt((cell.WC*cap+cell.WI)/(tc.RPerUm*tc.CPerUm*(math.Log(9)*cell.WS+1)))
+	if got := ins.CriticalLength(cell, cap); math.Abs(got-want) > 1e-9 {
+		t.Errorf("critical length = %g, want %g", got, want)
+	}
+	// Stronger drive (smaller WC) stretches the critical length only if its
+	// intrinsic doesn't dominate; verify monotonicity in cap instead.
+	if ins.CriticalLength(cell, 10) >= ins.CriticalLength(cell, 200) {
+		t.Error("critical length should grow with decoupled cap")
+	}
+}
+
+func TestLowerBoundIsLowerBound(t *testing.T) {
+	ins, _, lib := setup()
+	for _, load := range []float64{1, 20, 80, 250} {
+		lb := ins.LowerBound(load)
+		for _, c := range lib.Cells {
+			if lb > c.Delay(0, load)+1e-9 {
+				t.Errorf("Eq(7) bound %g exceeds %s delay %g", lb, c.Name, c.Delay(0, load))
+			}
+		}
+	}
+}
+
+func randomNet(rng *rand.Rand, n int, box float64) *tree.Net {
+	net := &tree.Net{Name: "r", Source: geom.Pt(box/2, box/2)}
+	used := map[geom.Point]bool{}
+	for len(net.Sinks) < n {
+		p := geom.Pt(float64(rng.Intn(int(box))), float64(rng.Intn(int(box))))
+		if used[p] {
+			continue
+		}
+		used[p] = true
+		net.Sinks = append(net.Sinks, tree.PinSink{Name: "s", Loc: p, Cap: 1.2})
+	}
+	return net
+}
+
+func TestBufferTreeRespectsCapLimit(t *testing.T) {
+	ins, tc, lib := setup()
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		net := randomNet(rng, 20+rng.Intn(60), 400)
+		opts := core.Options{
+			DME:        dme.Options{Model: dme.Elmore, SkewBound: 20, Tech: tc},
+			TopoMethod: dme.GreedyDist,
+			SALTEps:    0.1,
+		}
+		tr, err := core.Build(net, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted := ins.BufferTree(tr)
+		if inserted == 0 {
+			t.Fatal("no buffers inserted")
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rep, err := timing.Analyze(tr, lib, tc, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Buffers != inserted {
+			t.Errorf("trial %d: reported %d buffers, inserted %d", trial, rep.Buffers, inserted)
+		}
+		// The worst stage may overshoot the derated target at the node that
+		// triggered insertion, but must stay within a structural factor.
+		if rep.MaxStgCap > ins.MaxCap*1.5 {
+			t.Errorf("trial %d: stage cap %g far above limit %g", trial, rep.MaxStgCap, ins.MaxCap)
+		}
+		if got := len(tr.Sinks()); got != len(net.Sinks) {
+			t.Fatalf("trial %d: sinks lost", trial)
+		}
+	}
+}
+
+// More total load must never be solved with fewer buffers.
+func TestBufferCountScalesWithLoad(t *testing.T) {
+	ins, _, _ := setup()
+	rng := rand.New(rand.NewSource(62))
+	small := randomNet(rng, 20, 200)
+	large := randomNet(rng, 200, 800)
+	build := func(net *tree.Net) int {
+		tr, err := core.Build(net, core.DefaultOptions(1e9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ins.BufferTree(tr)
+	}
+	if a, b := build(small), build(large); b <= a {
+		t.Errorf("buffer counts %d (small) vs %d (large)", a, b)
+	}
+}
+
+func TestSplitLongEdges(t *testing.T) {
+	tr := tree.New(geom.Pt(0, 0))
+	s := tree.NewNode(tree.Sink, geom.Pt(1000, 0))
+	s.PinCap = 1
+	s.SinkIdx = 0
+	tr.Root.AddChild(s)
+	splitLongEdges(tr, 100)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Walk(func(n *tree.Node) bool {
+		if n.Parent != nil && n.EdgeLen > 100+geom.Eps {
+			t.Errorf("edge of length %g survived splitting", n.EdgeLen)
+		}
+		return true
+	})
+	if pl := tree.PathLength(tr.Sinks()[0]); math.Abs(pl-1000) > 1e-9 {
+		t.Errorf("path length changed: %g", pl)
+	}
+}

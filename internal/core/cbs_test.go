@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sllt/internal/dme"
+	"sllt/internal/geom"
+	"sllt/internal/rsmt"
+	"sllt/internal/salt"
+	"sllt/internal/tech"
+	"sllt/internal/tree"
+)
+
+func randomNet(rng *rand.Rand, n int, box float64) *tree.Net {
+	net := &tree.Net{Name: "r", Source: geom.Pt(rng.Float64()*box, rng.Float64()*box)}
+	used := map[geom.Point]bool{}
+	for len(net.Sinks) < n {
+		p := geom.Pt(float64(rng.Intn(int(box))), float64(rng.Intn(int(box))))
+		if used[p] {
+			continue
+		}
+		used[p] = true
+		net.Sinks = append(net.Sinks, tree.PinSink{Name: "s", Loc: p, Cap: 1.2})
+	}
+	return net
+}
+
+func pathSkew(t *tree.Tree) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Sinks() {
+		pl := tree.PathLength(s)
+		lo = math.Min(lo, pl)
+		hi = math.Max(hi, pl)
+	}
+	return hi - lo
+}
+
+// CBS's contract: the final tree honors the skew bound (like BST) while
+// being structurally valid.
+func TestCBSSkewLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, bound := range []float64{2, 10, 40} {
+		for _, method := range dme.AllTopoMethods {
+			for trial := 0; trial < 5; trial++ {
+				net := randomNet(rng, 10+rng.Intn(30), 75)
+				opts := DefaultOptions(bound)
+				opts.TopoMethod = method
+				tr, err := Build(net, opts)
+				if err != nil {
+					t.Fatalf("bound %g %v trial %d: %v", bound, method, trial, err)
+				}
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("bound %g %v trial %d: %v", bound, method, trial, err)
+				}
+				if skew := pathSkew(tr); skew > bound+1e-6 {
+					t.Fatalf("bound %g %v trial %d: skew %g", bound, method, trial, skew)
+				}
+				if got := len(tr.Sinks()); got != len(net.Sinks) {
+					t.Fatalf("bound %g %v trial %d: lost sinks (%d != %d)", bound, method, trial, got, len(net.Sinks))
+				}
+			}
+		}
+	}
+}
+
+// Against plain BST-DME, CBS should reduce wirelength and max latency on
+// average — the Table 3 comparison. The test runs in the paper's regime:
+// Elmore delay, picosecond skew bounds that are moderate relative to the
+// nets' natural skew.
+func TestCBSBeatsBSTOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var wlBST, wlCBS, plBST, plCBS float64
+	opts := Options{
+		DME:        dme.Options{Model: dme.Elmore, SkewBound: 10, Tech: tech.Default28nm()},
+		TopoMethod: dme.GreedyDist,
+		SALTEps:    0.1,
+	}
+	for trial := 0; trial < 30; trial++ {
+		net := randomNet(rng, 10+rng.Intn(31), 75)
+		net.Source = geom.Pt(37.5, 37.5)
+		bst, err := BuildStep1(net, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cbs, err := Refine(net, bst, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mB := tree.Measure(bst, net, 0)
+		mC := tree.Measure(cbs, net, 0)
+		wlBST += mB.WL
+		wlCBS += mC.WL
+		plBST += mB.MaxPL
+		plCBS += mC.MaxPL
+	}
+	if wlCBS >= wlBST {
+		t.Errorf("CBS total WL %.1f not below BST %.1f", wlCBS, wlBST)
+	}
+	if plCBS >= plBST {
+		t.Errorf("CBS total max-PL %.1f not below BST %.1f", plCBS, plBST)
+	}
+}
+
+// Against R-SALT, CBS controls skewness while R-SALT does not (Table 1's
+// qualitative comparison).
+func TestCBSControlsSkewVsSALT(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	bound := 5.0
+	var saltViolations int
+	for trial := 0; trial < 20; trial++ {
+		net := randomNet(rng, 20+rng.Intn(21), 75)
+		saltTree := salt.Build(net, 0.1)
+		if pathSkew(saltTree) > bound {
+			saltViolations++
+		}
+		cbsTree, err := Build(net, DefaultOptions(bound))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skew := pathSkew(cbsTree); skew > bound+1e-6 {
+			t.Fatalf("trial %d: CBS skew %g over bound", trial, skew)
+		}
+	}
+	if saltViolations == 0 {
+		t.Error("expected R-SALT to violate a tight skew bound on some nets (otherwise the comparison is vacuous)")
+	}
+}
+
+// CBS shallowness should sit between SALT (alpha ~ 1) and ZST, and its
+// lightness should stay close to the RSMT (Table 1 shape). Run in the
+// paper's Elmore/ps regime.
+func TestCBSMetricOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	var aZST, aCBS, sumBeta float64
+	const trials = 20
+	opts := Options{
+		DME:        dme.Options{Model: dme.Elmore, SkewBound: 10, Tech: tech.Default28nm()},
+		TopoMethod: dme.GreedyDist,
+		SALTEps:    0.1,
+	}
+	for trial := 0; trial < trials; trial++ {
+		net := randomNet(rng, 25, 75)
+		net.Source = geom.Pt(37.5, 37.5)
+		ref := rsmt.WL(net)
+
+		topo := dme.GenTopo(net, dme.GreedyDist, 0)
+		zst, err := dme.Build(net, topo, dme.ZST())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cbs, err := Build(net, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mZ := tree.Measure(zst, net, ref)
+		mC := tree.Measure(cbs, net, ref)
+		aZST += mZ.Alpha
+		aCBS += mC.Alpha
+		sumBeta += mC.Beta
+	}
+	if aCBS >= aZST {
+		t.Errorf("CBS mean alpha %.3f not below ZST %.3f", aCBS/trials, aZST/trials)
+	}
+	if avgBeta := sumBeta / trials; avgBeta > 1.3 {
+		t.Errorf("CBS mean beta %.3f too heavy", avgBeta)
+	}
+}
+
+func TestCBSElmoreModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	opts := Options{
+		DME:        dme.Options{Model: dme.Elmore, SkewBound: 10, Tech: tech.Default28nm()},
+		TopoMethod: dme.GreedyDist,
+		SALTEps:    0.1,
+	}
+	for trial := 0; trial < 10; trial++ {
+		net := randomNet(rng, 10+rng.Intn(30), 75)
+		tr, err := Build(net, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestCBSSingleAndTinyNets(t *testing.T) {
+	net1 := &tree.Net{Source: geom.Pt(0, 0), Sinks: []tree.PinSink{{Name: "a", Loc: geom.Pt(3, 4), Cap: 1}}}
+	tr, err := Build(net1, DefaultOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Wirelength() != 7 {
+		t.Errorf("single-sink CBS WL = %g", tr.Wirelength())
+	}
+	net2 := &tree.Net{Source: geom.Pt(0, 0), Sinks: []tree.PinSink{
+		{Name: "a", Loc: geom.Pt(3, 4), Cap: 1},
+		{Name: "b", Loc: geom.Pt(-3, 4), Cap: 1},
+	}}
+	tr2, err := Build(net2, DefaultOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew := pathSkew(tr2); skew > 1e-9 {
+		t.Errorf("two-sink ZST-mode CBS skew = %g", skew)
+	}
+}

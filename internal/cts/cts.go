@@ -1,0 +1,406 @@
+// Package cts is the paper's hierarchical clock tree synthesis framework
+// (§3, Fig. 3). Each level: (1) partition the current clock nodes with
+// balanced k-means + min-cost-flow assignment, optionally refined by
+// simulated annealing; (2) generate each cluster's routing topology (CBS by
+// default — pluggable, so BST/ZST/SALT engines slot in for baselines and
+// ablations); (3) insert the driver buffer and repeaters, repair the skew
+// the buffers disturb, and annotate the cluster root with its insertion
+// delay estimate for the next level. The loop repeats until the remaining
+// roots fit under one top-level net driven from the clock source.
+package cts
+
+import (
+	"fmt"
+
+	"sllt/internal/buffering"
+	"sllt/internal/core"
+	"sllt/internal/design"
+	"sllt/internal/dme"
+	"sllt/internal/geom"
+	"sllt/internal/liberty"
+	"sllt/internal/partition"
+	"sllt/internal/tech"
+	"sllt/internal/timing"
+	"sllt/internal/tree"
+)
+
+// Constraints are the per-net design rules (the paper's Table 5 values are
+// the defaults).
+type Constraints struct {
+	SkewBound float64 // ps, global target
+	MaxFanout int
+	MaxCap    float64 // fF
+	MaxWL     float64 // µm
+}
+
+// DefaultConstraints returns Table 5: skew 80 ps, fanout 32, cap 150 fF,
+// wirelength 300 µm.
+func DefaultConstraints() Constraints {
+	return Constraints{SkewBound: 80, MaxFanout: 32, MaxCap: 150, MaxWL: 300}
+}
+
+// DelayEst selects how cluster-root insertion delays are estimated for the
+// next level's balancing (§3.4, Fig. 5).
+type DelayEst int
+
+// Delay estimation modes.
+const (
+	// EstNone performs no delay annotation: every level balances only its
+	// own geometry. This is what naive flows do and what lets skew drift.
+	EstNone DelayEst = iota
+	// EstLowerBound uses the paper's Equation (7) lower bound for buffer
+	// delays in the estimate.
+	EstLowerBound
+	// EstExact runs full STA-lite on the cluster subtree.
+	EstExact
+)
+
+// TopoBuilder builds a routing topology for one clock net under the given
+// DME options (model, per-level skew bound, sink delay annotations).
+type TopoBuilder func(net *tree.Net, dopts dme.Options) (*tree.Tree, error)
+
+// CBSBuilder returns the default engine: the paper's CBS construction.
+func CBSBuilder(method dme.TopoMethod, saltEps float64) TopoBuilder {
+	return func(net *tree.Net, dopts dme.Options) (*tree.Tree, error) {
+		return core.Build(net, core.Options{DME: dopts, TopoMethod: method, SALTEps: saltEps})
+	}
+}
+
+// BSTBuilder returns a plain bounded-skew DME engine (no SALT refinement).
+func BSTBuilder(method dme.TopoMethod) TopoBuilder {
+	return func(net *tree.Net, dopts dme.Options) (*tree.Tree, error) {
+		topo := dme.GenTopo(net, method, dopts.LengthBudget(net))
+		return dme.Build(net, topo, dopts)
+	}
+}
+
+// ZSTBuilder returns a zero-skew DME engine under the linear (path length)
+// delay model, ignoring delay annotations beyond geometry — the classic
+// estimate-blind balancer.
+func ZSTBuilder(method dme.TopoMethod) TopoBuilder {
+	return func(net *tree.Net, dopts dme.Options) (*tree.Tree, error) {
+		lin := dme.Options{Model: dme.Linear, SkewBound: 0}
+		topo := dme.GenTopo(net, method, 0)
+		return dme.Build(net, topo, lin)
+	}
+}
+
+// Options configures a hierarchical CTS run.
+type Options struct {
+	Cons    Constraints
+	Tech    tech.Tech
+	Lib     *liberty.Library
+	Build   TopoBuilder
+	Est     DelayEst
+	UseSA   bool
+	SAIters int
+	Seed    int64
+	// SourceSlew is the slew of the clock at the die input, ps.
+	SourceSlew float64
+	// BufferMargin derates cell max caps during sizing.
+	BufferMargin float64
+	// ForceCell, when set, disables load-based buffer sizing in favor of
+	// one fixed cell (used by the OpenROAD-like baseline).
+	ForceCell string
+	// KMeansRestarts > 1 re-seeds clustering that many times and keeps the
+	// best silhouette score (sampled on large levels) — the quality knob
+	// heavyweight flows pay runtime for.
+	KMeansRestarts int
+}
+
+// DefaultOptions returns the paper's configuration: CBS topology engine,
+// Eq-7 delay estimation, SA-refined partitioning, Table 5 constraints.
+func DefaultOptions() Options {
+	return Options{
+		Cons:           DefaultConstraints(),
+		Tech:           tech.Default28nm(),
+		Lib:            liberty.Default(),
+		Build:          CBSBuilder(dme.GreedyDist, 0.1),
+		Est:            EstLowerBound,
+		UseSA:          true,
+		SAIters:        2000,
+		Seed:           1,
+		SourceSlew:     20,
+		BufferMargin:   0.9,
+		KMeansRestarts: 2,
+	}
+}
+
+// Result is a completed synthesis.
+type Result struct {
+	Tree     *tree.Tree
+	Report   *timing.Report
+	Levels   int
+	Clusters []int // cluster count per level, bottom-up
+}
+
+// clockNode is one balancing point at the current level: an FF sink at
+// level 0, a cluster driver input above.
+type clockNode struct {
+	loc   geom.Point
+	cap   float64 // input capacitance seen by the level net
+	delay float64 // estimated insertion delay below this node
+	sub   *tree.Node
+}
+
+// Run synthesizes the clock tree for the design.
+func Run(d *design.Design, opts Options) (*Result, error) {
+	flat := d.Net()
+	if err := flat.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := make([]clockNode, len(flat.Sinks))
+	for i, s := range flat.Sinks {
+		leaf := tree.NewNode(tree.Sink, s.Loc)
+		leaf.Name = s.Name
+		leaf.PinCap = s.Cap
+		leaf.SinkIdx = i
+		nodes[i] = clockNode{loc: s.Loc, cap: s.Cap, delay: 0, sub: leaf}
+	}
+
+	res := &Result{}
+	ins := buffering.NewInserter(opts.Lib, opts.Tech, opts.Cons.MaxCap)
+	ins.Margin = opts.BufferMargin
+	ins.ForceCell = opts.ForceCell
+
+	// Per-net skew spans telescope across levels (a net's span adds to the
+	// spread its cluster roots already carry), so every level gets an equal
+	// share of the global budget and the shares sum to the bound.
+	levelBound := levelShare(opts.Cons.SkewBound, estLevels(len(nodes), opts.Cons.MaxFanout))
+	for len(nodes) > opts.Cons.MaxFanout {
+		next, k, err := buildLevel(nodes, opts, ins, levelBound, res.Levels)
+		if err != nil {
+			return nil, fmt.Errorf("cts level %d: %w", res.Levels, err)
+		}
+		if len(next) >= len(nodes) {
+			return nil, fmt.Errorf("cts level %d: no progress (%d -> %d nodes)", res.Levels, len(nodes), len(next))
+		}
+		nodes = next
+		res.Clusters = append(res.Clusters, k)
+		res.Levels++
+	}
+
+	// Top net: from the clock root to the remaining nodes.
+	top, err := buildNet(d.ClockRoot, nodes, opts, ins, levelBound, true)
+	if err != nil {
+		return nil, fmt.Errorf("cts top net: %w", err)
+	}
+	res.Levels++
+	res.Clusters = append(res.Clusters, 1)
+	res.Tree = top
+
+	rep, err := timing.Analyze(top, opts.Lib, opts.Tech, opts.SourceSlew)
+	if err != nil {
+		return nil, err
+	}
+	res.Report = rep
+	return res, nil
+}
+
+// estLevels predicts how many partition levels remain for n nodes.
+func estLevels(n, fanout int) int {
+	levels := 1
+	for n > fanout {
+		n = (n + fanout - 1) / fanout
+		levels++
+	}
+	return levels
+}
+
+// levelShare splits the global skew budget across remaining levels: net
+// spans telescope, so the sum of per-level bounds bounds the global skew.
+func levelShare(skew float64, levelsLeft int) float64 {
+	if levelsLeft < 1 {
+		levelsLeft = 1
+	}
+	return skew / float64(levelsLeft)
+}
+
+// buildLevel partitions the nodes, builds one buffered net per cluster and
+// returns the next level's nodes.
+func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, level int) ([]clockNode, int, error) {
+	pts := make([]geom.Point, len(nodes))
+	caps := make([]float64, len(nodes))
+	var capTotal float64
+	for i := range nodes {
+		pts[i] = nodes[i].loc
+		caps[i] = nodes[i].cap
+		capTotal += nodes[i].cap
+	}
+	k := len(nodes)/opts.Cons.MaxFanout + 1
+	if byCap := int(capTotal/(opts.Cons.MaxCap*0.5)) + 1; byCap > k {
+		k = byCap
+	}
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+
+	centers := bestClustering(pts, k, opts, level)
+	assign := partition.BalancedAssign(pts, centers, opts.Cons.MaxFanout)
+	if opts.UseSA {
+		sa := partition.DefaultSAOptions(opts.Seed + int64(level))
+		// Fixed iteration counts vanish on hundred-thousand-sink levels;
+		// scale the budget so every sink gets a chance to move.
+		sa.Iters = opts.SAIters
+		if min := 2 * len(nodes); sa.Iters < min {
+			sa.Iters = min
+		}
+		sa.CPerUm = opts.Tech.CPerUm
+		sa.MaxCap = opts.Cons.MaxCap
+		sa.MaxWL = opts.Cons.MaxWL
+		sa.MaxFanout = opts.Cons.MaxFanout
+		assign = partition.RefineSA(pts, caps, k, assign, sa)
+	}
+
+	members := make([][]int, k)
+	for i, a := range assign {
+		members[a] = append(members[a], i)
+	}
+
+	var next []clockNode
+	used := 0
+	for _, mem := range members {
+		if len(mem) == 0 {
+			continue
+		}
+		used++
+		cluster := make([]clockNode, len(mem))
+		for i, m := range mem {
+			cluster[i] = nodes[m]
+		}
+		src := centroidOf(cluster)
+		sub, err := buildNet(src, cluster, opts, ins, levelBound, false)
+		if err != nil {
+			return nil, 0, err
+		}
+		// The cluster tree is rooted at a Source node at the centroid whose
+		// only child is the driver buffer; the driver is the next level's
+		// balancing point.
+		driver := sub.Root.Children[0]
+		driver.Detach()
+		est, err := estimateLatency(driver, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		next = append(next, clockNode{
+			loc:   driver.Loc,
+			cap:   driver.PinCap,
+			delay: est,
+			sub:   driver,
+		})
+	}
+	return next, used, nil
+}
+
+// bestClustering runs k-means once, or — when KMeansRestarts asks for it —
+// several times with different seeds, scoring each run by silhouette
+// (subsampled on large levels to keep the O(n²) score tractable) and
+// keeping the best.
+func bestClustering(pts []geom.Point, k int, opts Options, level int) []geom.Point {
+	restarts := opts.KMeansRestarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	base := opts.Seed + int64(level)
+	centers, assign := partition.KMeans(pts, k, 24, base)
+	if restarts == 1 {
+		return centers
+	}
+	sample, sampleAssign := silhouetteSample(pts, assign, 2500)
+	best := partition.Silhouette(sample, sampleAssign, k)
+	for r := 1; r < restarts; r++ {
+		c, a := partition.KMeans(pts, k, 24, base+int64(r)*1009)
+		s, sa := silhouetteSample(pts, a, 2500)
+		if score := partition.Silhouette(s, sa, k); score > best {
+			best, centers = score, c
+		}
+	}
+	return centers
+}
+
+// silhouetteSample deterministically subsamples points (stride sampling)
+// for silhouette scoring.
+func silhouetteSample(pts []geom.Point, assign []int, max int) ([]geom.Point, []int) {
+	if len(pts) <= max {
+		return pts, assign
+	}
+	stride := (len(pts) + max - 1) / max
+	var sp []geom.Point
+	var sa []int
+	for i := 0; i < len(pts); i += stride {
+		sp = append(sp, pts[i])
+		sa = append(sa, assign[i])
+	}
+	return sp, sa
+}
+
+func centroidOf(nodes []clockNode) geom.Point {
+	var sx, sy float64
+	for i := range nodes {
+		sx += nodes[i].loc.X
+		sy += nodes[i].loc.Y
+	}
+	n := float64(len(nodes))
+	return geom.Pt(sx/n, sy/n)
+}
+
+// buildNet constructs one buffered clock net: routing topology over the
+// nodes, driver + repeater insertion, buffered skew repair, and grafting of
+// the nodes' subtrees under the new net's leaves. The returned tree is
+// rooted at a Source node at src.
+func buildNet(src geom.Point, nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, top bool) (*tree.Tree, error) {
+	net := &tree.Net{Name: "lvl", Source: src}
+	for i := range nodes {
+		net.Sinks = append(net.Sinks, tree.PinSink{
+			Name: fmt.Sprintf("n%d", i),
+			Loc:  nodes[i].loc,
+			Cap:  nodes[i].cap,
+		})
+	}
+	dopts := dme.Options{
+		Model:     dme.Elmore,
+		SkewBound: levelBound,
+		Tech:      opts.Tech,
+		SinkDelay: func(i int, s tree.PinSink) float64 { return nodes[i].delay },
+		// Merging regions widen the per-merge delay interval by up to the
+		// level's whole skew share — budget the hierarchical flow already
+		// spends on cross-level annotation error. Double-spending it forces
+		// the post-buffer repair into heavy snaking whose capacitance slows
+		// the critical path, so level nets use classic merging segments;
+		// regions remain the default for standalone net construction.
+		RegionGreed: dme.SegmentRegions,
+	}
+	if opts.Est == EstNone {
+		dopts.SinkDelay = nil
+	}
+	t, err := opts.Build(net, dopts)
+	if err != nil {
+		return nil, err
+	}
+	ins.BufferTree(t)
+	if opts.Est != EstNone {
+		repairBuffered(t, opts, dopts, levelBound)
+		// Repair pads fast subtrees by snaking; a long serpentine's
+		// capacitance would slow the whole stage that drives it, so cut the
+		// snakes behind repeaters and settle the skew once more.
+		if ins.DecoupleSlowWires(t) > 0 {
+			repairBuffered(t, opts, dopts, levelBound)
+		}
+	}
+
+	// Graft: replace each leaf sink with the node's real subtree.
+	for _, s := range t.Sinks() {
+		idx := s.SinkIdx
+		if idx < 0 || idx >= len(nodes) {
+			return nil, fmt.Errorf("cts: net leaf with invalid index %d", idx)
+		}
+		sub := nodes[idx].sub
+		p := s.Parent
+		edge := s.EdgeLen
+		s.Detach()
+		sub.Parent = p
+		sub.EdgeLen = edge
+		p.Children = append(p.Children, sub)
+	}
+	return t, nil
+}

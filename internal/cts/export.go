@@ -1,0 +1,150 @@
+package cts
+
+import (
+	"fmt"
+
+	"sllt/internal/design"
+	"sllt/internal/geom"
+	"sllt/internal/lefdef"
+	"sllt/internal/tree"
+)
+
+// ClockLayer is the routing layer clock wires are emitted on.
+const ClockLayer = "metal4"
+
+// ExportDEF emits the post-CTS netlist as DEF-lite: the original components
+// plus the inserted clock buffers, with the flat clock net replaced by one
+// subnet per buffer stage, each carrying its routed wire geometry
+// (L-shaped runs; snaked wire appears as an explicit serpentine detour so
+// the routed length matches the tree's electrical length). This is the
+// CTS↔routing bridge the paper emphasizes: the topology handed to routing
+// IS the synthesized one.
+func ExportDEF(d *design.Design, res *Result) *lefdef.DEF {
+	def := &lefdef.DEF{
+		Version: "5.8",
+		Design:  d.Name,
+		DBU:     d.DBU,
+		Die:     d.Die,
+	}
+	for i := range d.Insts {
+		inst := &d.Insts[i]
+		def.Components = append(def.Components, lefdef.Component{
+			Name: inst.Name, Macro: inst.Macro, Loc: inst.Loc, Placed: true, Orient: "N",
+		})
+	}
+	def.Pins = append(def.Pins, lefdef.IOPin{
+		Name: d.ClockNet, Net: d.ClockNet, Direction: "INPUT", Use: "CLOCK", Loc: d.ClockRoot,
+	})
+
+	// Name buffers and create their components.
+	bufName := make(map[*tree.Node]string)
+	bi := 0
+	res.Tree.Walk(func(n *tree.Node) bool {
+		if n.Kind == tree.Buffer {
+			name := fmt.Sprintf("clkbuf_%04d", bi)
+			bi++
+			bufName[n] = name
+			def.Components = append(def.Components, lefdef.Component{
+				Name: name, Macro: n.BufCell, Loc: n.Loc, Placed: true, Orient: "N",
+			})
+		}
+		return true
+	})
+
+	// One net per buffer stage. The root stage is driven by the IO pin.
+	ni := 0
+	var emit func(driverConn lefdef.Conn, stageRoot *tree.Node)
+	emit = func(driverConn lefdef.Conn, stageRoot *tree.Node) {
+		name := d.ClockNet
+		if ni > 0 {
+			name = fmt.Sprintf("%s_%04d", d.ClockNet, ni)
+		}
+		ni++
+		net := lefdef.Net{Name: name, Use: "CLOCK", Conns: []lefdef.Conn{driverConn}}
+		var downstream []*tree.Node
+
+		var collect func(n *tree.Node)
+		collect = func(n *tree.Node) {
+			if n.Parent != nil && n.EdgeLen > 0 {
+				net.Routes = append(net.Routes, edgeRoute(n))
+			}
+			switch n.Kind {
+			case tree.Sink:
+				net.Conns = append(net.Conns, lefdef.Conn{Comp: sinkComp(n), Pin: sinkPin(d, n)})
+				return
+			case tree.Buffer:
+				net.Conns = append(net.Conns, lefdef.Conn{Comp: bufName[n], Pin: "A"})
+				downstream = append(downstream, n)
+				return
+			}
+			for _, c := range n.Children {
+				collect(c)
+			}
+		}
+		for _, c := range stageRoot.Children {
+			collect(c)
+		}
+		if len(net.Conns) > 1 {
+			def.Nets = append(def.Nets, net)
+		}
+		for _, b := range downstream {
+			emit(lefdef.Conn{Comp: bufName[b], Pin: "Y"}, b)
+		}
+	}
+	emit(lefdef.Conn{Comp: "PIN", Pin: d.ClockNet}, res.Tree.Root)
+	return def
+}
+
+// edgeRoute converts one tree edge into routed geometry: the L-shaped
+// (horizontal-then-vertical) run, with any snaked surplus realized as a
+// serpentine out-and-back at the load end so routed length equals the
+// electrical EdgeLen.
+func edgeRoute(n *tree.Node) lefdef.Route {
+	a, b := n.Parent.Loc, n.Loc
+	r := lefdef.Route{Layer: ClockLayer}
+	r.Points = append(r.Points, a)
+	if a.X != b.X && a.Y != b.Y {
+		r.Points = append(r.Points, geom.Pt(b.X, a.Y)) // the bend
+	}
+	if !pointsEqual(r.Points[len(r.Points)-1], b) {
+		r.Points = append(r.Points, b)
+	}
+	if extra := n.EdgeLen - a.Dist(b); extra > geom.Eps {
+		// Serpentine: out and back, perpendicular to the last segment.
+		half := extra / 2
+		last := r.Points[len(r.Points)-1]
+		prev := last // zero-length edge: any direction works
+		if len(r.Points) >= 2 {
+			prev = r.Points[len(r.Points)-2]
+		}
+		var out geom.Point
+		if prev.X == last.X { // vertical approach: detour in x
+			out = geom.Pt(last.X+half, last.Y)
+		} else {
+			out = geom.Pt(last.X, last.Y+half)
+		}
+		r.Points = append(r.Points, out, last)
+	}
+	return r
+}
+
+func pointsEqual(a, b geom.Point) bool { return a.Eq(b) }
+
+// sinkComp extracts the instance name from a sink node named "inst/pin".
+func sinkComp(n *tree.Node) string {
+	for i := 0; i < len(n.Name); i++ {
+		if n.Name[i] == '/' {
+			return n.Name[:i]
+		}
+	}
+	return n.Name
+}
+
+func sinkPin(d *design.Design, n *tree.Node) string {
+	for i := 0; i < len(n.Name); i++ {
+		if n.Name[i] == '/' {
+			return n.Name[i+1:]
+		}
+	}
+	return "CK"
+}

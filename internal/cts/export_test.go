@@ -1,0 +1,53 @@
+package cts
+
+import (
+	"math"
+	"testing"
+
+	"sllt/internal/designgen"
+	"sllt/internal/lefdef"
+)
+
+func TestExportDEFRoundTrip(t *testing.T) {
+	spec := designgen.Spec{Name: "exp", Insts: 1000, FFs: 200, Util: 0.6}
+	d := designgen.Generate(spec, 9)
+	opts := DefaultOptions()
+	opts.SAIters = 50
+	res, err := Run(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ExportDEF(d, res)
+	src := out.WriteDEF()
+	again, err := lefdef.ParseDEF(src)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	// Components: originals plus one per buffer.
+	if got, want := len(again.Components), len(d.Insts)+res.Report.Buffers; got != want {
+		t.Errorf("components = %d, want %d", got, want)
+	}
+	// Every FF clock pin and every buffer input appears on exactly one net.
+	loads := map[string]int{}
+	for _, n := range again.Nets {
+		for _, c := range n.Conns[1:] {
+			loads[c.Comp+"/"+c.Pin]++
+		}
+	}
+	if len(loads) != spec.FFs+res.Report.Buffers {
+		t.Errorf("distinct loads = %d, want %d", len(loads), spec.FFs+res.Report.Buffers)
+	}
+	for k, cnt := range loads {
+		if cnt != 1 {
+			t.Errorf("load %s on %d nets", k, cnt)
+		}
+	}
+	// Routed geometry: total routed length matches the tree's wirelength.
+	var routed float64
+	for i := range again.Nets {
+		routed += again.Nets[i].RoutedLength()
+	}
+	if math.Abs(routed-res.Report.WL) > res.Report.WL*0.001+1 {
+		t.Errorf("routed length %.1f != tree wirelength %.1f", routed, res.Report.WL)
+	}
+}

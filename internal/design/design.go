@@ -1,0 +1,146 @@
+// Package design is the placement database that hierarchical CTS consumes:
+// a die, placed instances with identified flip-flops, and the clock source.
+// It is assembled from LEF (macro footprints and pin capacitances) plus DEF
+// (placement and connectivity) via FromLEFDEF, or synthesized directly by
+// the designgen package.
+package design
+
+import (
+	"fmt"
+
+	"sllt/internal/geom"
+	"sllt/internal/lefdef"
+	"sllt/internal/tree"
+)
+
+// Instance is one placed cell.
+type Instance struct {
+	Name  string
+	Macro string
+	Loc   geom.Point
+	// IsSink marks instances whose clock pin belongs to the CTS clock net.
+	IsSink bool
+	// ClockPin and ClockPinCap describe the clock input when IsSink.
+	ClockPin    string
+	ClockPinCap float64
+}
+
+// Design is a placed netlist ready for CTS.
+type Design struct {
+	Name     string
+	Die      geom.Rect
+	DBU      int
+	Insts    []Instance
+	ClockNet string
+	// ClockRoot is where the clock enters the design (IO pin location).
+	ClockRoot geom.Point
+}
+
+// NumFFs returns the number of clock sinks.
+func (d *Design) NumFFs() int {
+	n := 0
+	for i := range d.Insts {
+		if d.Insts[i].IsSink {
+			n++
+		}
+	}
+	return n
+}
+
+// Utilization returns placed cell area over die area, given a function that
+// maps macro names to areas (µm²). Unknown macros count as 0.
+func (d *Design) Utilization(areaOf func(macro string) float64) float64 {
+	dieArea := d.Die.W() * d.Die.H()
+	if dieArea <= 0 {
+		return 0
+	}
+	var a float64
+	for i := range d.Insts {
+		a += areaOf(d.Insts[i].Macro)
+	}
+	return a / dieArea
+}
+
+// Net returns the flat clock net: source at the clock root, one sink per
+// flip-flop clock pin.
+func (d *Design) Net() *tree.Net {
+	net := &tree.Net{Name: d.ClockNet, Source: d.ClockRoot}
+	for i := range d.Insts {
+		inst := &d.Insts[i]
+		if !inst.IsSink {
+			continue
+		}
+		net.Sinks = append(net.Sinks, tree.PinSink{
+			Name: inst.Name + "/" + inst.ClockPin,
+			Loc:  inst.Loc,
+			Cap:  inst.ClockPinCap,
+		})
+	}
+	return net
+}
+
+// FromLEFDEF builds a Design from parsed LEF and DEF. clockNet selects the
+// net to synthesize; pass "" to use the first net with USE CLOCK (or, as a
+// fallback, a net named "clk").
+func FromLEFDEF(lef *lefdef.LEF, def *lefdef.DEF, clockNet string) (*Design, error) {
+	d := &Design{Name: def.Design, Die: def.Die, DBU: def.DBU}
+
+	net := def.FindNet(clockNet)
+	if clockNet == "" {
+		for i := range def.Nets {
+			if def.Nets[i].Use == "CLOCK" {
+				net = &def.Nets[i]
+				break
+			}
+		}
+		if net == nil {
+			net = def.FindNet("clk")
+		}
+	}
+	if net == nil {
+		return nil, fmt.Errorf("design %s: clock net %q not found", def.Design, clockNet)
+	}
+	d.ClockNet = net.Name
+
+	// Index the clock net's component pins.
+	type sinkPin struct{ pin string }
+	onNet := make(map[string]sinkPin)
+	rootFound := false
+	for _, c := range net.Conns {
+		if c.Comp == "PIN" {
+			io := def.FindPin(c.Pin)
+			if io == nil {
+				return nil, fmt.Errorf("design %s: net %s references missing IO pin %s", def.Design, net.Name, c.Pin)
+			}
+			d.ClockRoot = io.Loc
+			rootFound = true
+			continue
+		}
+		onNet[c.Comp] = sinkPin{pin: c.Pin}
+	}
+	if !rootFound {
+		return nil, fmt.Errorf("design %s: clock net %s has no IO pin (clock root)", def.Design, net.Name)
+	}
+
+	for _, comp := range def.Components {
+		inst := Instance{Name: comp.Name, Macro: comp.Macro, Loc: comp.Loc}
+		if sp, ok := onNet[comp.Name]; ok {
+			m := lef.FindMacro(comp.Macro)
+			if m == nil {
+				return nil, fmt.Errorf("design %s: component %s uses unknown macro %s", def.Design, comp.Name, comp.Macro)
+			}
+			inst.IsSink = true
+			inst.ClockPin = sp.pin
+			for _, p := range m.Pins {
+				if p.Name == sp.pin {
+					inst.ClockPinCap = p.Cap
+				}
+			}
+		}
+		d.Insts = append(d.Insts, inst)
+	}
+	if d.NumFFs() == 0 {
+		return nil, fmt.Errorf("design %s: clock net %s drives no instances", def.Design, net.Name)
+	}
+	return d, nil
+}

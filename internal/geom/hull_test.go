@@ -1,0 +1,64 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10),
+		Pt(5, 5), Pt(3, 7), Pt(1, 1), // interior
+		Pt(5, 0), Pt(0, 5), // collinear on boundary
+	}
+	h := ConvexHull(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size = %d, want 4: %v", len(h), h)
+	}
+	for _, c := range []Point{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)} {
+		if !OnHull(h, c) {
+			t.Errorf("corner %v missing from hull %v", c, h)
+		}
+	}
+	if OnHull(h, Pt(5, 5)) {
+		t.Error("interior point on hull")
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if got := ConvexHull(nil); len(got) != 0 {
+		t.Errorf("empty hull = %v", got)
+	}
+	if got := ConvexHull([]Point{Pt(1, 1)}); len(got) != 1 {
+		t.Errorf("single-point hull = %v", got)
+	}
+	// All-collinear points collapse to the two extremes.
+	got := ConvexHull([]Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)})
+	if len(got) != 2 {
+		t.Errorf("collinear hull = %v", got)
+	}
+}
+
+func TestConvexHullContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		pts := make([]Point, 30)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		h := ConvexHull(pts)
+		if len(h) < 3 {
+			t.Fatalf("hull degenerate for random points: %v", h)
+		}
+		// Every input point must be inside or on the hull (CCW orientation:
+		// cross >= 0 for every edge).
+		for _, p := range pts {
+			for i := range h {
+				a, b := h[i], h[(i+1)%len(h)]
+				if cross(a, b, p) < -1e-6 {
+					t.Fatalf("point %v outside hull edge %v-%v", p, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package htree
+
+import (
+	"math"
+
+	"sllt/internal/liberty"
+	"sllt/internal/tech"
+)
+
+// OptimalFactors chooses per-level branching factors for a buffered GH-tree
+// in the spirit of Han/Kahng/Li's optimal generalized H-tree: minimize the
+// estimated source-to-sink delay of the buffered tree over n sinks spread
+// across a square region of the given side (µm), using the library's linear
+// buffer model and the technology's wire RC.
+//
+// The per-level model: branching k from a region of side s drives k child
+// taps over trunks of roughly s/2 wire each; the level's driver sees
+// k·(Cin + c·s/2) of load and each path takes one buffer delay plus the
+// trunk's Elmore delay; children recurse on side s/√k. The factor sequence
+// minimizing total path delay is found by exhaustive search with
+// memoization (depth and branching are both small).
+func OptimalFactors(n int, side float64, lib *liberty.Library, tc tech.Tech) []int {
+	if n <= 1 {
+		return nil
+	}
+	type key struct {
+		n int
+		s int // side quantized to 1 µm
+	}
+	type result struct {
+		cost    float64
+		factors []int
+	}
+	memo := map[key]result{}
+
+	var solve func(n int, s float64) result
+	solve = func(n int, s float64) result {
+		if n <= 1 {
+			return result{0, nil}
+		}
+		k := key{n, int(s + 0.5)}
+		if r, ok := memo[k]; ok {
+			return r
+		}
+		best := result{cost: math.Inf(1)}
+		maxK := 9
+		if n < maxK {
+			maxK = n
+		}
+		for fan := 2; fan <= maxK; fan++ {
+			trunk := s / 2
+			load := float64(fan) * (lib.Smallest().InputCap + tc.WireCap(trunk))
+			cell := lib.PickForLoad(load, 0.9)
+			stage := cell.Delay(20, load) + tc.WireElmore(trunk, lib.Smallest().InputCap)
+			sub := solve((n+fan-1)/fan, s/math.Sqrt(float64(fan)))
+			if c := stage + sub.cost; c < best.cost {
+				best = result{c, append([]int{fan}, sub.factors...)}
+			}
+		}
+		memo[k] = best
+		return best
+	}
+	return solve(n, side).factors
+}
+
+// EstimatedDelay evaluates the OptimalFactors cost model for a given factor
+// schedule — exposed so callers (and tests) can compare schedules.
+func EstimatedDelay(factors []int, n int, side float64, lib *liberty.Library, tc tech.Tech) float64 {
+	var total float64
+	s := side
+	for _, fan := range factors {
+		if n <= 1 {
+			break
+		}
+		if fan < 2 {
+			fan = 2
+		}
+		trunk := s / 2
+		load := float64(fan) * (lib.Smallest().InputCap + tc.WireCap(trunk))
+		cell := lib.PickForLoad(load, 0.9)
+		total += cell.Delay(20, load) + tc.WireElmore(trunk, lib.Smallest().InputCap)
+		n = (n + fan - 1) / fan
+		s /= math.Sqrt(float64(fan))
+	}
+	// Unfinished schedules pay the default binary split for the remainder.
+	for n > 1 {
+		trunk := s / 2
+		load := 2 * (lib.Smallest().InputCap + tc.WireCap(trunk))
+		cell := lib.PickForLoad(load, 0.9)
+		total += cell.Delay(20, load) + tc.WireElmore(trunk, lib.Smallest().InputCap)
+		n = (n + 1) / 2
+		s /= math.Sqrt2
+	}
+	return total
+}

@@ -1,0 +1,146 @@
+// Package htree builds symmetric H-trees and generalized H-trees (GH-trees,
+// Han/Kahng/Li, "Optimal Generalized H-Tree Topology and Buffering for
+// High-Performance and Low-Power Clock Distribution"). These are the
+// classical structured clock topologies the paper compares against in
+// Table 1: easy skew compliance bought with extra path length and wire.
+//
+// The construction is top-down region splitting: every node taps the center
+// of its sink region's bounding box, splits the sinks into k balanced slabs
+// along the region's dominant axis (alternating axes for the binary H-tree),
+// and recurses. GH-trees generalize the branching factor per level.
+package htree
+
+import (
+	"sort"
+
+	"sllt/internal/geom"
+	"sllt/internal/tree"
+)
+
+// Build constructs a binary H-tree over the net (branching factor 2 at every
+// level, axes alternating).
+func Build(net *tree.Net) *tree.Tree {
+	return BuildGH(net, nil)
+}
+
+// BuildGH constructs a generalized H-tree with the given branching factors
+// per level; when factors are exhausted (or nil), branching factor 2 is
+// used. Each level splits its sink set into balanced contiguous slabs along
+// the bounding box's longer axis.
+func BuildGH(net *tree.Net, factors []int) *tree.Tree {
+	t := tree.New(net.Source)
+	idx := make([]int, len(net.Sinks))
+	for i := range idx {
+		idx[i] = i
+	}
+	if len(idx) == 0 {
+		return t
+	}
+	top := regionTap(net, idx)
+	var anchor *tree.Node
+	if top.Eq(net.Source) {
+		anchor = t.Root
+	} else {
+		anchor = tree.NewNode(tree.Steiner, top)
+		t.Root.AddChild(anchor)
+	}
+	buildLevel(net, anchor, idx, factors, 0, true)
+	tree.RemoveRedundantSteiner(t)
+	return t
+}
+
+// DefaultFactors returns a GH-tree branching schedule for n sinks: branching
+// factor 4 while the level still holds many sinks, then 2. This mirrors the
+// GH-tree's latency advantage over the plain H-tree (fewer levels, shorter
+// trunks).
+func DefaultFactors(n int) []int {
+	var f []int
+	for n > 4 {
+		f = append(f, 4)
+		n = (n + 3) / 4
+	}
+	for n > 1 {
+		f = append(f, 2)
+		n = (n + 1) / 2
+	}
+	return f
+}
+
+func buildLevel(net *tree.Net, parent *tree.Node, idx []int, factors []int, level int, vertFirst bool) {
+	if len(idx) == 1 {
+		parent.AddChild(net.SinkNode(idx[0]))
+		return
+	}
+	k := 2
+	if level < len(factors) {
+		k = factors[level]
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	slabs := splitSlabs(net, idx, k, level, vertFirst)
+	for _, slab := range slabs {
+		if len(slab) == 0 {
+			continue
+		}
+		tap := regionTap(net, slab)
+		child := parent
+		if !tap.Eq(parent.Loc) {
+			child = tree.NewNode(tree.Steiner, tap)
+			parent.AddChild(child)
+		}
+		buildLevel(net, child, slab, factors, level+1, vertFirst)
+	}
+}
+
+// splitSlabs sorts the sinks along the split axis (alternating by level for
+// the binary H shape, dominant-axis for k-way) and cuts them into k balanced
+// contiguous slabs.
+func splitSlabs(net *tree.Net, idx []int, k, level int, vertFirst bool) [][]int {
+	r := geom.EmptyRect()
+	for _, i := range idx {
+		r = r.Grow(net.Sinks[i].Loc)
+	}
+	byX := (level%2 == 0) == vertFirst
+	if k > 2 {
+		// k-way levels split along the dominant dimension.
+		byX = r.W() >= r.H()
+	}
+	sorted := append([]int(nil), idx...)
+	sort.Slice(sorted, func(a, b int) bool {
+		pa, pb := net.Sinks[sorted[a]].Loc, net.Sinks[sorted[b]].Loc
+		if byX {
+			if pa.X != pb.X {
+				return pa.X < pb.X
+			}
+			return pa.Y < pb.Y
+		}
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return pa.X < pb.X
+	})
+	slabs := make([][]int, 0, k)
+	n := len(sorted)
+	for s := 0; s < k; s++ {
+		lo := s * n / k
+		hi := (s + 1) * n / k
+		if lo < hi {
+			slabs = append(slabs, sorted[lo:hi])
+		}
+	}
+	return slabs
+}
+
+// regionTap returns the tap point for a sink subset: the center of its
+// bounding box, the classical H-tree branch point.
+func regionTap(net *tree.Net, idx []int) geom.Point {
+	r := geom.EmptyRect()
+	for _, i := range idx {
+		r = r.Grow(net.Sinks[i].Loc)
+	}
+	return r.Center()
+}

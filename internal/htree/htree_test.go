@@ -1,0 +1,202 @@
+package htree
+
+import (
+	"math/rand"
+	"testing"
+
+	"sllt/internal/geom"
+	"sllt/internal/liberty"
+	"sllt/internal/rsmt"
+	"sllt/internal/tech"
+	"sllt/internal/tree"
+)
+
+// grid16 returns a regular 4x4 sink grid with the source at the center —
+// the canonical H-tree input.
+func grid16() *tree.Net {
+	net := &tree.Net{Name: "g", Source: geom.Pt(15, 15)}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			net.Sinks = append(net.Sinks, tree.PinSink{
+				Name: "s", Loc: geom.Pt(float64(x)*10, float64(y)*10), Cap: 1,
+			})
+		}
+	}
+	return net
+}
+
+func TestHTreeGridZeroSkew(t *testing.T) {
+	net := grid16()
+	tr := Build(net)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Sinks()); got != 16 {
+		t.Fatalf("sinks = %d", got)
+	}
+	// On a symmetric grid the H-tree is perfectly balanced.
+	var lo, hi float64 = 1e18, -1
+	for _, s := range tr.Sinks() {
+		pl := tree.PathLength(s)
+		if pl < lo {
+			lo = pl
+		}
+		if pl > hi {
+			hi = pl
+		}
+	}
+	if hi-lo > 1e-9 {
+		t.Errorf("H-tree skew on symmetric grid = %g, want 0", hi-lo)
+	}
+}
+
+func TestHTreeRandomValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		net := &tree.Net{Source: geom.Pt(50, 50)}
+		n := 1 + rng.Intn(40)
+		used := map[geom.Point]bool{}
+		for len(net.Sinks) < n {
+			p := geom.Pt(float64(rng.Intn(100)), float64(rng.Intn(100)))
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			net.Sinks = append(net.Sinks, tree.PinSink{Loc: p, Cap: 1})
+		}
+		tr := Build(net)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := len(tr.Sinks()); got != n {
+			t.Fatalf("trial %d: %d sinks, want %d", trial, got, n)
+		}
+		gh := BuildGH(net, DefaultFactors(n))
+		if err := gh.Validate(); err != nil {
+			t.Fatalf("trial %d GH: %v", trial, err)
+		}
+		if got := len(gh.Sinks()); got != n {
+			t.Fatalf("trial %d GH: %d sinks, want %d", trial, got, n)
+		}
+	}
+}
+
+// GH-tree with branching factor 4 should be shallower than the binary
+// H-tree on spread-out sinks (its defining property in the paper).
+func TestGHTreeShallowerThanH(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	var sumH, sumGH float64
+	for trial := 0; trial < 20; trial++ {
+		net := &tree.Net{Source: geom.Pt(50, 50)}
+		used := map[geom.Point]bool{}
+		for len(net.Sinks) < 32 {
+			p := geom.Pt(float64(rng.Intn(100)), float64(rng.Intn(100)))
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			net.Sinks = append(net.Sinks, tree.PinSink{Loc: p, Cap: 1})
+		}
+		h := Build(net)
+		gh := BuildGH(net, DefaultFactors(32))
+		mH := tree.Measure(h, net, 0)
+		mGH := tree.Measure(gh, net, 0)
+		sumH += mH.MaxPL
+		sumGH += mGH.MaxPL
+	}
+	if sumGH >= sumH {
+		t.Errorf("GH-tree max path %g not shallower than H-tree %g", sumGH, sumH)
+	}
+}
+
+// H-tree structure costs wire: it should be heavier than the RSMT on random
+// inputs (Table 1's lightness ordering).
+func TestHTreeHeavierThanRSMT(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	var sumH, sumR float64
+	for trial := 0; trial < 15; trial++ {
+		net := &tree.Net{Source: geom.Pt(50, 50)}
+		used := map[geom.Point]bool{}
+		for len(net.Sinks) < 24 {
+			p := geom.Pt(float64(rng.Intn(100)), float64(rng.Intn(100)))
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			net.Sinks = append(net.Sinks, tree.PinSink{Loc: p, Cap: 1})
+		}
+		sumH += Build(net).Wirelength()
+		sumR += rsmt.Build(net).Wirelength()
+	}
+	if sumH <= sumR {
+		t.Errorf("H-tree WL %g unexpectedly lighter than RSMT %g", sumH, sumR)
+	}
+}
+
+func TestDefaultFactors(t *testing.T) {
+	f := DefaultFactors(64)
+	prod := 1
+	for _, k := range f {
+		prod *= k
+	}
+	if prod < 64 {
+		t.Errorf("factors %v cover only %d leaves", f, prod)
+	}
+	if len(DefaultFactors(1)) != 0 {
+		t.Error("single sink should need no branching")
+	}
+}
+
+func TestOptimalFactorsCoverAndWin(t *testing.T) {
+	lib := liberty.Default()
+	tc := tech.Default28nm()
+	for _, n := range []int{8, 64, 500, 5000} {
+		side := 100 + float64(n)/10
+		factors := OptimalFactors(n, side, lib, tc)
+		// The schedule must cover all n leaves.
+		prod := 1
+		for _, k := range factors {
+			if k < 2 || k > 9 {
+				t.Fatalf("n=%d: factor %d out of range", n, k)
+			}
+			prod *= k
+		}
+		if prod < n {
+			t.Errorf("n=%d: factors %v cover only %d leaves", n, factors, prod)
+		}
+		// The optimizer must beat (or match) the plain binary schedule and
+		// a flat max-branching schedule under its own cost model.
+		opt := EstimatedDelay(factors, n, side, lib, tc)
+		if bin := EstimatedDelay(nil, n, side, lib, tc); opt > bin+1e-9 {
+			t.Errorf("n=%d: optimal %g worse than binary %g", n, opt, bin)
+		}
+		wide := []int{9, 9, 9, 9, 9, 9}
+		if w := EstimatedDelay(wide, n, side, lib, tc); opt > w+1e-9 {
+			t.Errorf("n=%d: optimal %g worse than flat-9 %g", n, opt, w)
+		}
+	}
+}
+
+func TestOptimalFactorsBuildable(t *testing.T) {
+	lib := liberty.Default()
+	tc := tech.Default28nm()
+	rng := rand.New(rand.NewSource(35))
+	net := &tree.Net{Source: geom.Pt(50, 50)}
+	used := map[geom.Point]bool{}
+	for len(net.Sinks) < 48 {
+		p := geom.Pt(float64(rng.Intn(100)), float64(rng.Intn(100)))
+		if used[p] {
+			continue
+		}
+		used[p] = true
+		net.Sinks = append(net.Sinks, tree.PinSink{Loc: p, Cap: 1})
+	}
+	factors := OptimalFactors(len(net.Sinks), 100, lib, tc)
+	gh := BuildGH(net, factors)
+	if err := gh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(gh.Sinks()); got != 48 {
+		t.Fatalf("sinks = %d", got)
+	}
+}

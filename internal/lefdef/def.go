@@ -1,0 +1,374 @@
+package lefdef
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sllt/internal/geom"
+)
+
+// DEF is a parsed placement DEF file. Coordinates are micrometers.
+type DEF struct {
+	Version    string
+	Design     string
+	DBU        int
+	Die        geom.Rect
+	Components []Component
+	Pins       []IOPin
+	Nets       []Net
+}
+
+// Component is a placed instance.
+type Component struct {
+	Name   string
+	Macro  string
+	Loc    geom.Point
+	Placed bool
+	Orient string
+}
+
+// IOPin is a top-level design pin.
+type IOPin struct {
+	Name      string
+	Net       string
+	Direction string
+	Use       string
+	Loc       geom.Point
+}
+
+// Net is a logical net with its connections and, optionally, its routed
+// wire geometry.
+type Net struct {
+	Name   string
+	Use    string
+	Conns  []Conn
+	Routes []Route
+}
+
+// Route is one routed wire: an orthogonal polyline on a layer.
+type Route struct {
+	Layer  string
+	Points []geom.Point
+}
+
+// RoutedLength returns the total routed wirelength of the net in µm.
+func (n *Net) RoutedLength() float64 {
+	var wl float64
+	for _, r := range n.Routes {
+		for i := 1; i < len(r.Points); i++ {
+			wl += r.Points[i-1].Dist(r.Points[i])
+		}
+	}
+	return wl
+}
+
+// Conn is one net connection. Comp == "PIN" denotes a top-level IO pin, in
+// which case Pin holds the pin name.
+type Conn struct {
+	Comp string
+	Pin  string
+}
+
+// FindComponent returns the named component, or nil.
+func (d *DEF) FindComponent(name string) *Component {
+	for i := range d.Components {
+		if d.Components[i].Name == name {
+			return &d.Components[i]
+		}
+	}
+	return nil
+}
+
+// FindNet returns the named net, or nil.
+func (d *DEF) FindNet(name string) *Net {
+	for i := range d.Nets {
+		if d.Nets[i].Name == name {
+			return &d.Nets[i]
+		}
+	}
+	return nil
+}
+
+// FindPin returns the named IO pin, or nil.
+func (d *DEF) FindPin(name string) *IOPin {
+	for i := range d.Pins {
+		if d.Pins[i].Name == name {
+			return &d.Pins[i]
+		}
+	}
+	return nil
+}
+
+// ParseDEF parses DEF-lite source.
+func ParseDEF(src string) (*DEF, error) {
+	toks := tokenize(src)
+	def := &DEF{DBU: 1000}
+	i := 0
+	for i < len(toks) {
+		switch toks[i] {
+		case "VERSION":
+			def.Version = toks[i+1]
+			i = skipStatement(toks, i)
+		case "DESIGN":
+			def.Design = toks[i+1]
+			i = skipStatement(toks, i)
+		case "UNITS":
+			// UNITS DISTANCE MICRONS n ;
+			for j := i; j < len(toks) && toks[j] != ";"; j++ {
+				if toks[j] == "MICRONS" && j+1 < len(toks) {
+					if v, err := strconv.Atoi(toks[j+1]); err == nil {
+						def.DBU = v
+					}
+				}
+			}
+			i = skipStatement(toks, i)
+		case "DIEAREA":
+			// DIEAREA ( x1 y1 ) ( x2 y2 ) ;
+			var nums []float64
+			for j := i; j < len(toks) && toks[j] != ";"; j++ {
+				if v, err := strconv.ParseFloat(toks[j], 64); err == nil {
+					nums = append(nums, v)
+				}
+			}
+			if len(nums) >= 4 {
+				s := float64(def.DBU)
+				def.Die = geom.Rect{XLo: nums[0] / s, YLo: nums[1] / s, XHi: nums[2] / s, YHi: nums[3] / s}
+			}
+			i = skipStatement(toks, i)
+		case "COMPONENTS":
+			next, err := def.parseComponents(toks, i)
+			if err != nil {
+				return nil, err
+			}
+			i = next
+		case "PINS":
+			next, err := def.parsePins(toks, i)
+			if err != nil {
+				return nil, err
+			}
+			i = next
+		case "NETS":
+			next, err := def.parseNets(toks, i)
+			if err != nil {
+				return nil, err
+			}
+			i = next
+		case "END":
+			i += 2
+		default:
+			i = skipStatement(toks, i)
+		}
+	}
+	if def.Design == "" {
+		return nil, fmt.Errorf("def: missing DESIGN statement")
+	}
+	return def, nil
+}
+
+func (d *DEF) parseComponents(toks []string, i int) (int, error) {
+	i = skipStatement(toks, i) // consume "COMPONENTS n ;"
+	scale := float64(d.DBU)
+	for i < len(toks) {
+		if toks[i] == "END" {
+			return i + 2, nil // END COMPONENTS
+		}
+		if toks[i] != "-" {
+			return i, fmt.Errorf("def: expected '-' in COMPONENTS, got %q", toks[i])
+		}
+		c := Component{Name: toks[i+1], Macro: toks[i+2]}
+		j := i + 3
+		for j < len(toks) && toks[j] != ";" {
+			if (toks[j] == "PLACED" || toks[j] == "FIXED") && j+4 < len(toks) && toks[j+1] == "(" {
+				c.Placed = true
+				c.Loc = geom.Pt(atof(toks[j+2])/scale, atof(toks[j+3])/scale)
+				if j+5 < len(toks) && toks[j+4] == ")" {
+					c.Orient = toks[j+5]
+				}
+				j += 5
+				continue
+			}
+			j++
+		}
+		d.Components = append(d.Components, c)
+		i = j + 1
+	}
+	return i, fmt.Errorf("def: COMPONENTS not terminated")
+}
+
+func (d *DEF) parsePins(toks []string, i int) (int, error) {
+	i = skipStatement(toks, i)
+	scale := float64(d.DBU)
+	for i < len(toks) {
+		if toks[i] == "END" {
+			return i + 2, nil
+		}
+		if toks[i] != "-" {
+			return i, fmt.Errorf("def: expected '-' in PINS, got %q", toks[i])
+		}
+		p := IOPin{Name: toks[i+1]}
+		j := i + 2
+		for j < len(toks) && toks[j] != ";" {
+			switch toks[j] {
+			case "NET":
+				p.Net = toks[j+1]
+				j++
+			case "DIRECTION":
+				p.Direction = toks[j+1]
+				j++
+			case "USE":
+				p.Use = toks[j+1]
+				j++
+			case "PLACED", "FIXED":
+				if j+3 < len(toks) && toks[j+1] == "(" {
+					p.Loc = geom.Pt(atof(toks[j+2])/scale, atof(toks[j+3])/scale)
+					j += 4
+				}
+			}
+			j++
+		}
+		d.Pins = append(d.Pins, p)
+		i = j + 1
+	}
+	return i, fmt.Errorf("def: PINS not terminated")
+}
+
+func (d *DEF) parseNets(toks []string, i int) (int, error) {
+	i = skipStatement(toks, i)
+	for i < len(toks) {
+		if toks[i] == "END" {
+			return i + 2, nil
+		}
+		if toks[i] != "-" {
+			return i, fmt.Errorf("def: expected '-' in NETS, got %q", toks[i])
+		}
+		n := Net{Name: toks[i+1]}
+		j := i + 2
+		scale := float64(d.DBU)
+		for j < len(toks) && toks[j] != ";" {
+			switch toks[j] {
+			case "(":
+				if j+2 < len(toks) {
+					n.Conns = append(n.Conns, Conn{Comp: toks[j+1], Pin: toks[j+2]})
+					j += 2
+				}
+			case "+":
+				if j+1 >= len(toks) {
+					break
+				}
+				switch toks[j+1] {
+				case "USE":
+					n.Use = toks[j+2]
+					j += 2
+				case "ROUTED":
+					var next int
+					n.Routes, next = parseRoutes(toks, j+2, scale)
+					j = next - 1
+				}
+			}
+			j++
+		}
+		d.Nets = append(d.Nets, n)
+		i = j + 1
+	}
+	return i, fmt.Errorf("def: NETS not terminated")
+}
+
+// WriteDEF emits DEF-lite source.
+func (d *DEF) WriteDEF() string {
+	var b strings.Builder
+	v := d.Version
+	if v == "" {
+		v = "5.8"
+	}
+	scale := float64(d.DBU)
+	fmt.Fprintf(&b, "VERSION %s ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n", v, d.Design, d.DBU)
+	fmt.Fprintf(&b, "DIEAREA ( %d %d ) ( %d %d ) ;\n\n",
+		int(d.Die.XLo*scale), int(d.Die.YLo*scale), int(d.Die.XHi*scale), int(d.Die.YHi*scale))
+	fmt.Fprintf(&b, "COMPONENTS %d ;\n", len(d.Components))
+	for _, c := range d.Components {
+		orient := c.Orient
+		if orient == "" {
+			orient = "N"
+		}
+		fmt.Fprintf(&b, "  - %s %s + PLACED ( %d %d ) %s ;\n",
+			c.Name, c.Macro, int(c.Loc.X*scale), int(c.Loc.Y*scale), orient)
+	}
+	b.WriteString("END COMPONENTS\n\n")
+	fmt.Fprintf(&b, "PINS %d ;\n", len(d.Pins))
+	for _, p := range d.Pins {
+		fmt.Fprintf(&b, "  - %s + NET %s", p.Name, p.Net)
+		if p.Direction != "" {
+			fmt.Fprintf(&b, " + DIRECTION %s", p.Direction)
+		}
+		if p.Use != "" {
+			fmt.Fprintf(&b, " + USE %s", p.Use)
+		}
+		fmt.Fprintf(&b, " + PLACED ( %d %d ) N ;\n", int(p.Loc.X*scale), int(p.Loc.Y*scale))
+	}
+	b.WriteString("END PINS\n\n")
+	fmt.Fprintf(&b, "NETS %d ;\n", len(d.Nets))
+	for _, n := range d.Nets {
+		fmt.Fprintf(&b, "  - %s", n.Name)
+		for k, c := range n.Conns {
+			if k%4 == 0 {
+				b.WriteString("\n   ")
+			}
+			fmt.Fprintf(&b, " ( %s %s )", c.Comp, c.Pin)
+		}
+		if n.Use != "" {
+			fmt.Fprintf(&b, "\n    + USE %s", n.Use)
+		}
+		for ri, r := range n.Routes {
+			if ri == 0 {
+				fmt.Fprintf(&b, "\n    + ROUTED %s", r.Layer)
+			} else {
+				fmt.Fprintf(&b, "\n      NEW %s", r.Layer)
+			}
+			for _, p := range r.Points {
+				fmt.Fprintf(&b, " ( %d %d )", int(p.X*scale), int(p.Y*scale))
+			}
+		}
+		b.WriteString(" ;\n")
+	}
+	b.WriteString("END NETS\n\nEND DESIGN\n")
+	return b.String()
+}
+
+// parseRoutes consumes routed wiring after "+ ROUTED": one polyline per
+// layer section, sections separated by NEW. Coordinates may use the DEF "*"
+// shorthand for "unchanged". Returns the routes and the index of the first
+// unconsumed token.
+func parseRoutes(toks []string, i int, scale float64) ([]Route, int) {
+	var routes []Route
+	for i < len(toks) {
+		if toks[i] == ";" || toks[i] == "+" {
+			return routes, i
+		}
+		layer := toks[i]
+		i++
+		r := Route{Layer: layer}
+		var last geom.Point
+		for i < len(toks) && toks[i] == "(" {
+			// ( x y ) with * meaning "same as previous".
+			xs, ys := toks[i+1], toks[i+2]
+			x, y := last.X, last.Y
+			if xs != "*" {
+				x = atof(xs) / scale
+			}
+			if ys != "*" {
+				y = atof(ys) / scale
+			}
+			last = geom.Pt(x, y)
+			r.Points = append(r.Points, last)
+			i += 4 // ( x y )
+		}
+		routes = append(routes, r)
+		if i < len(toks) && toks[i] == "NEW" {
+			i++
+			continue
+		}
+		return routes, i
+	}
+	return routes, i
+}

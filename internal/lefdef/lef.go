@@ -1,0 +1,226 @@
+// Package lefdef reads and writes the subset of LEF and DEF that clock tree
+// synthesis needs: macro footprints and pin capacitances from LEF; die area,
+// placed components, IO pins and net connectivity from DEF. The writers emit
+// the same subset, including the post-CTS DEF with inserted clock buffers and
+// the decomposed clock subnets.
+//
+// Dimensions in the parsed structures are micrometers (converted from
+// database units at the boundary); the raw DBU factor is preserved for
+// round-tripping.
+package lefdef
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LEF is a parsed technology/macro LEF file.
+type LEF struct {
+	Version string
+	DBU     int // DATABASE MICRONS
+	Macros  []*Macro
+}
+
+// Macro is a cell footprint.
+type Macro struct {
+	Name  string
+	Class string
+	W, H  float64 // µm
+	Pins  []MacroPin
+}
+
+// MacroPin is one pin of a macro.
+type MacroPin struct {
+	Name      string
+	Direction string // INPUT / OUTPUT / INOUT
+	Use       string // CLOCK / SIGNAL / ...
+	Cap       float64
+}
+
+// FindMacro returns the named macro, or nil.
+func (l *LEF) FindMacro(name string) *Macro {
+	for _, m := range l.Macros {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// ClockPin returns the macro's clock-use input pin, or nil.
+func (m *Macro) ClockPin() *MacroPin {
+	for i := range m.Pins {
+		if m.Pins[i].Use == "CLOCK" && m.Pins[i].Direction == "INPUT" {
+			return &m.Pins[i]
+		}
+	}
+	return nil
+}
+
+// ParseLEF parses LEF-lite source.
+func ParseLEF(src string) (*LEF, error) {
+	toks := tokenize(src)
+	lef := &LEF{DBU: 1000}
+	i := 0
+	for i < len(toks) {
+		switch toks[i] {
+		case "VERSION":
+			if i+1 < len(toks) {
+				lef.Version = toks[i+1]
+			}
+			i = skipStatement(toks, i)
+		case "UNITS":
+			// UNITS DATABASE MICRONS n ; END UNITS
+			for i < len(toks) && toks[i] != "END" {
+				if toks[i] == "MICRONS" && i+1 < len(toks) {
+					if v, err := strconv.Atoi(toks[i+1]); err == nil {
+						lef.DBU = v
+					}
+				}
+				i++
+			}
+			i += 2 // END UNITS
+		case "MACRO":
+			m, next, err := parseMacro(toks, i)
+			if err != nil {
+				return nil, err
+			}
+			lef.Macros = append(lef.Macros, m)
+			i = next
+		case "END":
+			// END LIBRARY or stray END
+			i += 2
+		default:
+			i = skipStatement(toks, i)
+		}
+	}
+	return lef, nil
+}
+
+func parseMacro(toks []string, i int) (*Macro, int, error) {
+	if toks[i] != "MACRO" || i+1 >= len(toks) {
+		return nil, i, fmt.Errorf("lef: malformed MACRO at token %d", i)
+	}
+	m := &Macro{Name: toks[i+1]}
+	i += 2
+	for i < len(toks) {
+		switch toks[i] {
+		case "CLASS":
+			if i+1 < len(toks) {
+				m.Class = toks[i+1]
+			}
+			i = skipStatement(toks, i)
+		case "SIZE":
+			// SIZE w BY h ;
+			if i+3 < len(toks) {
+				m.W = atof(toks[i+1])
+				m.H = atof(toks[i+3])
+			}
+			i = skipStatement(toks, i)
+		case "PIN":
+			p, next, err := parseMacroPin(toks, i)
+			if err != nil {
+				return nil, i, err
+			}
+			m.Pins = append(m.Pins, p)
+			i = next
+		case "END":
+			if i+1 < len(toks) && toks[i+1] == m.Name {
+				return m, i + 2, nil
+			}
+			i++
+		default:
+			i = skipStatement(toks, i)
+		}
+	}
+	return nil, i, fmt.Errorf("lef: macro %s not terminated", m.Name)
+}
+
+func parseMacroPin(toks []string, i int) (MacroPin, int, error) {
+	p := MacroPin{Name: toks[i+1]}
+	i += 2
+	for i < len(toks) {
+		switch toks[i] {
+		case "DIRECTION":
+			p.Direction = toks[i+1]
+			i = skipStatement(toks, i)
+		case "USE":
+			p.Use = toks[i+1]
+			i = skipStatement(toks, i)
+		case "CAPACITANCE":
+			p.Cap = atof(toks[i+1])
+			i = skipStatement(toks, i)
+		case "END":
+			if i+1 < len(toks) && toks[i+1] == p.Name {
+				return p, i + 2, nil
+			}
+			i++
+		default:
+			i = skipStatement(toks, i)
+		}
+	}
+	return p, i, fmt.Errorf("lef: pin %s not terminated", p.Name)
+}
+
+// WriteLEF emits LEF-lite source for the structure.
+func (l *LEF) WriteLEF() string {
+	var b strings.Builder
+	v := l.Version
+	if v == "" {
+		v = "5.8"
+	}
+	fmt.Fprintf(&b, "VERSION %s ;\nUNITS\n  DATABASE MICRONS %d ;\nEND UNITS\n\n", v, l.DBU)
+	for _, m := range l.Macros {
+		fmt.Fprintf(&b, "MACRO %s\n", m.Name)
+		if m.Class != "" {
+			fmt.Fprintf(&b, "  CLASS %s ;\n", m.Class)
+		}
+		fmt.Fprintf(&b, "  SIZE %.4f BY %.4f ;\n", m.W, m.H)
+		for _, p := range m.Pins {
+			fmt.Fprintf(&b, "  PIN %s\n", p.Name)
+			if p.Direction != "" {
+				fmt.Fprintf(&b, "    DIRECTION %s ;\n", p.Direction)
+			}
+			if p.Use != "" {
+				fmt.Fprintf(&b, "    USE %s ;\n", p.Use)
+			}
+			if p.Cap != 0 {
+				fmt.Fprintf(&b, "    CAPACITANCE %.4f ;\n", p.Cap)
+			}
+			fmt.Fprintf(&b, "  END %s\n", p.Name)
+		}
+		fmt.Fprintf(&b, "END %s\n\n", m.Name)
+	}
+	b.WriteString("END LIBRARY\n")
+	return b.String()
+}
+
+// tokenize splits source into tokens, treating parentheses and semicolons
+// as standalone tokens and stripping # comments.
+func tokenize(src string) []string {
+	var toks []string
+	for _, line := range strings.Split(src, "\n") {
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.ReplaceAll(line, "(", " ( ")
+		line = strings.ReplaceAll(line, ")", " ) ")
+		line = strings.ReplaceAll(line, ";", " ; ")
+		toks = append(toks, strings.Fields(line)...)
+	}
+	return toks
+}
+
+// skipStatement advances past the next ';' (or to end of input).
+func skipStatement(toks []string, i int) int {
+	for i < len(toks) && toks[i] != ";" {
+		i++
+	}
+	return i + 1
+}
+
+func atof(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}

@@ -1,0 +1,142 @@
+package liberty
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTripRecoverscoefficients(t *testing.T) {
+	specs := Default28nmSpecs()
+	lib, err := Parse(GenerateSource("sim28", specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Name != "sim28" {
+		t.Errorf("library name = %q", lib.Name)
+	}
+	if len(lib.Cells) != len(specs) {
+		t.Fatalf("parsed %d cells, want %d", len(lib.Cells), len(specs))
+	}
+	for _, s := range specs {
+		c := lib.Cell(s.Name)
+		if c == nil {
+			t.Fatalf("cell %s missing", s.Name)
+		}
+		// LUTs are exact samples of the linear model, so the least-squares
+		// fit must recover the coefficients almost exactly.
+		checks := []struct {
+			name      string
+			got, want float64
+			tol       float64
+		}{
+			{"WS", c.WS, s.WS, 1e-6},
+			{"WC", c.WC, s.WC, 1e-6},
+			{"WI", c.WI, s.WI, 1e-4},
+			{"InputCap", c.InputCap, s.InputCap, 1e-9},
+			{"MaxCap", c.MaxCap, s.MaxCap, 1e-9},
+			{"Area", c.Area, s.Area, 1e-9},
+			{"SC", c.SC, s.SC, 1e-6},
+		}
+		for _, ck := range checks {
+			if math.Abs(ck.got-ck.want) > ck.tol {
+				t.Errorf("%s.%s = %g, want %g", s.Name, ck.name, ck.got, ck.want)
+			}
+		}
+	}
+}
+
+func TestLibraryOrderingAndSelection(t *testing.T) {
+	lib := Default()
+	for i := 1; i < len(lib.Cells); i++ {
+		if lib.Cells[i].InputCap < lib.Cells[i-1].InputCap {
+			t.Fatal("cells not sorted by input cap")
+		}
+	}
+	if lib.Smallest().Name != "CLKBUFX2" || lib.Strongest().Name != "CLKBUFX16" {
+		t.Errorf("smallest/strongest = %s/%s", lib.Smallest().Name, lib.Strongest().Name)
+	}
+	if got := lib.PickForLoad(30, 1).Name; got != "CLKBUFX2" {
+		t.Errorf("PickForLoad(30) = %s, want CLKBUFX2", got)
+	}
+	if got := lib.PickForLoad(30, 0.5).Name; got != "CLKBUFX4" {
+		t.Errorf("PickForLoad(30, margin 0.5) = %s, want CLKBUFX4", got)
+	}
+	if got := lib.PickForLoad(1e6, 1).Name; got != "CLKBUFX16" {
+		t.Errorf("PickForLoad(huge) = %s, want strongest", got)
+	}
+}
+
+func TestInsertionDelayLowerBound(t *testing.T) {
+	lib := Default()
+	// Eq (7): min WC * load + min WI. In the default family the X16 has the
+	// smallest WC (0.20) and the X2 the smallest WI (8).
+	want := 0.20*100 + 8
+	if got := lib.InsertionDelayLowerBound(100); math.Abs(got-want) > 1e-6 {
+		t.Errorf("lower bound = %g, want %g", got, want)
+	}
+	// The bound must never exceed any real cell's delay at zero slew.
+	for _, c := range lib.Cells {
+		for _, load := range []float64{1, 10, 50, 200} {
+			if lb := lib.InsertionDelayLowerBound(load); lb > c.Delay(0, load)+1e-9 {
+				t.Errorf("lower bound %g exceeds %s delay %g at load %g", lb, c.Name, c.Delay(0, load), load)
+			}
+		}
+	}
+}
+
+func TestParseTolerantSyntax(t *testing.T) {
+	src := `/* header comment */
+library (tiny) {
+  time_unit : "1ps";
+  cell (BUF1) {
+    area : 2.5;
+    pin (A) { direction : input; capacitance : 1.5; }
+    pin (Y) {
+      direction : output;
+      max_capacitance : 64;
+      timing () {
+        related_pin : "A";
+        cell_rise (scalar) { values ("17.5"); }
+      }
+    }
+  }
+  cell (NOTABUF) {
+    pin (A) { direction : input; capacitance : 1; }
+  }
+}`
+	lib, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1 (non-buffer skipped)", len(lib.Cells))
+	}
+	c := lib.Cells[0]
+	if c.WI != 17.5 || c.WS != 0 || c.WC != 0 {
+		t.Errorf("scalar fit: WS=%g WC=%g WI=%g", c.WS, c.WC, c.WI)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`library (x) {`,
+		`cell (y) { }`,
+		`library (x) { cell (b) { pin (A) { direction : input; } pin (Y) { direction : output; } } }`,
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDelayAndSlewEval(t *testing.T) {
+	c := &BufferCell{WS: 0.1, WC: 2, WI: 10, SC: 1, SI: 5}
+	if got := c.Delay(20, 15); got != 0.1*20+2*15+10 {
+		t.Errorf("Delay = %g", got)
+	}
+	if got := c.OutSlew(7); got != 12 {
+		t.Errorf("OutSlew = %g", got)
+	}
+}

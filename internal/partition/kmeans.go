@@ -1,0 +1,231 @@
+// Package partition implements the paper's §3.2 partition scheme: balanced
+// k-means clustering with min-cost-flow sink assignment, silhouette-scored
+// cluster quality, the latency/capacitance-adaptive cost
+// Cost = p·σ(Cap) + q·σ(T), and simulated-annealing refinement whose local
+// moves follow Fig. 4 (convex-hull boundary instances migrate to the
+// nearest neighboring net).
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"sllt/internal/geom"
+)
+
+// KMeans runs Lloyd's algorithm with deterministic farthest-point seeding
+// and returns the cluster centers and per-point assignment. k is clamped to
+// [1, len(pts)].
+func KMeans(pts []geom.Point, k, iters int, seed int64) ([]geom.Point, []int) {
+	n := len(pts)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := seedCenters(pts, k, rng)
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range pts {
+			best, bd := 0, math.Inf(1)
+			for j, c := range centers {
+				if d := p.Dist(c); d < bd {
+					best, bd = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centers; re-seed empty clusters at the point farthest
+		// from its center.
+		sx := make([]float64, k)
+		sy := make([]float64, k)
+		cnt := make([]int, k)
+		for i, p := range pts {
+			a := assign[i]
+			sx[a] += p.X
+			sy[a] += p.Y
+			cnt[a]++
+		}
+		for j := 0; j < k; j++ {
+			if cnt[j] == 0 {
+				centers[j] = farthestPoint(pts, assign, centers)
+				changed = true
+				continue
+			}
+			centers[j] = geom.Pt(sx[j]/float64(cnt[j]), sy[j]/float64(cnt[j]))
+		}
+		if !changed {
+			break
+		}
+	}
+	return centers, assign
+}
+
+// seedCenters picks k starting centers: the first at the centroid-nearest
+// point, the rest by farthest-point traversal — deterministic given rng
+// only breaks exact ties.
+func seedCenters(pts []geom.Point, k int, rng *rand.Rand) []geom.Point {
+	centers := make([]geom.Point, 0, k)
+	centers = append(centers, pts[rng.Intn(len(pts))])
+	minD := make([]float64, len(pts))
+	for i, p := range pts {
+		minD[i] = p.Dist(centers[0])
+	}
+	for len(centers) < k {
+		best, bd := 0, -1.0
+		for i, d := range minD {
+			if d > bd {
+				best, bd = i, d
+			}
+		}
+		c := pts[best]
+		centers = append(centers, c)
+		for i, p := range pts {
+			if d := p.Dist(c); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+func farthestPoint(pts []geom.Point, assign []int, centers []geom.Point) geom.Point {
+	best, bd := 0, -1.0
+	for i, p := range pts {
+		if d := p.Dist(centers[assign[i]]); d > bd {
+			best, bd = i, d
+		}
+	}
+	return pts[best]
+}
+
+// Silhouette returns the mean silhouette coefficient of the clustering:
+// for each point, (b−a)/max(a,b) with a the mean distance to its own
+// cluster and b the smallest mean distance to another cluster. Values near
+// 1 indicate compact, well-separated clusters. O(n²); intended for the
+// cluster-count selection on moderate instance counts.
+func Silhouette(pts []geom.Point, assign []int, k int) float64 {
+	n := len(pts)
+	if n == 0 || k < 2 {
+		return 0
+	}
+	var total float64
+	counted := 0
+	for i, p := range pts {
+		sum := make([]float64, k)
+		cnt := make([]int, k)
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			sum[assign[j]] += p.Dist(q)
+			cnt[assign[j]]++
+		}
+		own := assign[i]
+		if cnt[own] == 0 {
+			continue // singleton cluster: silhouette undefined, skip
+		}
+		a := sum[own] / float64(cnt[own])
+		b := math.Inf(1)
+		for j := 0; j < k; j++ {
+			if j == own || cnt[j] == 0 {
+				continue
+			}
+			if m := sum[j] / float64(cnt[j]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// BalancedAssign produces an assignment of points to the given centers in
+// which no cluster exceeds cap members. Small instances are solved exactly
+// as a min-cost flow (a transportation problem); large ones use nearest
+// assignment with regret-ordered overflow repair, which is within a few
+// percent of optimal in practice and scales to hundred-thousand-sink
+// designs.
+func BalancedAssign(pts []geom.Point, centers []geom.Point, cap int) []int {
+	if cap*len(centers) < len(pts) {
+		cap = (len(pts) + len(centers) - 1) / len(centers)
+	}
+	if len(pts)*len(centers) <= 200_000 {
+		return assignMCF(pts, centers, cap)
+	}
+	return assignGreedyRepair(pts, centers, cap)
+}
+
+// assignGreedyRepair assigns each point to its nearest center, then drains
+// over-capacity clusters by moving their lowest-regret members (smallest
+// extra cost to go elsewhere) to the nearest cluster with slack.
+func assignGreedyRepair(pts []geom.Point, centers []geom.Point, cap int) []int {
+	n, k := len(pts), len(centers)
+	assign := make([]int, n)
+	load := make([]int, k)
+	for i, p := range pts {
+		best, bd := 0, math.Inf(1)
+		for j, c := range centers {
+			if d := p.Dist(c); d < bd {
+				best, bd = j, d
+			}
+		}
+		assign[i] = best
+		load[best]++
+	}
+	for j := 0; j < k; j++ {
+		for load[j] > cap {
+			// Members of j, ordered by regret ascending.
+			type cand struct {
+				idx    int
+				regret float64
+				to     int
+			}
+			var cands []cand
+			for i, p := range pts {
+				if assign[i] != j {
+					continue
+				}
+				// Cheapest alternative with slack.
+				bestTo, bd := -1, math.Inf(1)
+				for jj, c := range centers {
+					if jj == j || load[jj] >= cap {
+						continue
+					}
+					if d := p.Dist(c); d < bd {
+						bestTo, bd = jj, d
+					}
+				}
+				if bestTo >= 0 {
+					cands = append(cands, cand{i, bd - p.Dist(centers[j]), bestTo})
+				}
+			}
+			if len(cands) == 0 {
+				break // nowhere to move; give up on strict balance
+			}
+			sort.Slice(cands, func(a, b int) bool { return cands[a].regret < cands[b].regret })
+			move := cands[0]
+			assign[move.idx] = move.to
+			load[j]--
+			load[move.to]++
+		}
+	}
+	return assign
+}

@@ -1,0 +1,149 @@
+package partition
+
+import (
+	"container/heap"
+	"math"
+
+	"sllt/internal/geom"
+)
+
+// assignMCF solves the capacitated assignment exactly as a min-cost
+// max-flow: source → point (cap 1) → center (cap 1, cost = Manhattan
+// distance) → sink (cap = cluster capacity). Successive shortest paths with
+// Johnson potentials keep every Dijkstra run on non-negative reduced costs.
+func assignMCF(pts []geom.Point, centers []geom.Point, cap int) []int {
+	n, k := len(pts), len(centers)
+	// Node ids: 0 = source, 1..n = points, n+1..n+k = centers, n+k+1 = sink.
+	src, snk := 0, n+k+1
+	g := newFlowGraph(n + k + 2)
+	for i, p := range pts {
+		g.addEdge(src, 1+i, 1, 0)
+		for j, c := range centers {
+			g.addEdge(1+i, 1+n+j, 1, p.Dist(c))
+		}
+	}
+	for j := 0; j < k; j++ {
+		g.addEdge(1+n+j, snk, cap, 0)
+	}
+	g.minCostFlow(src, snk, n)
+
+	assign := make([]int, n)
+	for i := 0; i < n; i++ {
+		assign[i] = 0
+		for _, eid := range g.adj[1+i] {
+			e := &g.edges[eid]
+			if e.to >= 1+n && e.to <= n+k && e.cap == 0 {
+				assign[i] = e.to - 1 - n
+				break
+			}
+		}
+	}
+	return assign
+}
+
+// flowGraph is a residual-edge min-cost max-flow structure.
+type flowGraph struct {
+	adj   [][]int // node -> edge ids
+	edges []flowEdge
+	pot   []float64 // Johnson potentials
+}
+
+type flowEdge struct {
+	to   int
+	cap  int
+	cost float64
+}
+
+func newFlowGraph(nodes int) *flowGraph {
+	return &flowGraph{adj: make([][]int, nodes), pot: make([]float64, nodes)}
+}
+
+// addEdge inserts a directed edge and its zero-capacity reverse.
+func (g *flowGraph) addEdge(from, to, cap int, cost float64) {
+	g.adj[from] = append(g.adj[from], len(g.edges))
+	g.edges = append(g.edges, flowEdge{to: to, cap: cap, cost: cost})
+	g.adj[to] = append(g.adj[to], len(g.edges))
+	g.edges = append(g.edges, flowEdge{to: from, cap: 0, cost: -cost})
+}
+
+// minCostFlow pushes up to want units from src to snk along successive
+// shortest paths, returning the units sent and total cost.
+func (g *flowGraph) minCostFlow(src, snk, want int) (int, float64) {
+	sent := 0
+	var total float64
+	dist := make([]float64, len(g.adj))
+	prevEdge := make([]int, len(g.adj))
+	for sent < want {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[src] = 0
+		pq := &nodePQ{{src, 0}}
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(nodeItem)
+			if it.d > dist[it.n] {
+				continue
+			}
+			for _, eid := range g.adj[it.n] {
+				e := &g.edges[eid]
+				if e.cap <= 0 {
+					continue
+				}
+				nd := it.d + e.cost + g.pot[it.n] - g.pot[e.to]
+				if nd < dist[e.to]-1e-12 {
+					dist[e.to] = nd
+					prevEdge[e.to] = eid
+					heap.Push(pq, nodeItem{e.to, nd})
+				}
+			}
+		}
+		if math.IsInf(dist[snk], 1) {
+			break // saturated
+		}
+		for i := range g.pot {
+			if !math.IsInf(dist[i], 1) {
+				g.pot[i] += dist[i]
+			}
+		}
+		// Augment one unit (all path capacities here are >= 1 and the
+		// bottleneck source edge has capacity 1).
+		aug := math.MaxInt32
+		for v := snk; v != src; {
+			e := &g.edges[prevEdge[v]]
+			if e.cap < aug {
+				aug = e.cap
+			}
+			v = g.edges[prevEdge[v]^1].to
+		}
+		for v := snk; v != src; {
+			eid := prevEdge[v]
+			g.edges[eid].cap -= aug
+			g.edges[eid^1].cap += aug
+			total += float64(aug) * g.edges[eid].cost
+			v = g.edges[eid^1].to
+		}
+		sent += aug
+	}
+	return sent, total
+}
+
+type nodeItem struct {
+	n int
+	d float64
+}
+
+type nodePQ []nodeItem
+
+func (q nodePQ) Len() int            { return len(q) }
+func (q nodePQ) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q nodePQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodePQ) Push(x interface{}) { *q = append(*q, x.(nodeItem)) }
+func (q *nodePQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,299 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+
+	"sllt/internal/geom"
+)
+
+// SAOptions configures simulated-annealing partition refinement.
+type SAOptions struct {
+	Iters int
+	Seed  int64
+	// P and Q weight the capacitance and delay variances in the paper's
+	// Cost = p·σ(Cap) + q·σ(T) metric.
+	P, Q float64
+	// CPerUm converts estimated net wirelength to capacitance, making
+	// capacitance the unified violation metric (§3.2).
+	CPerUm float64
+	// MaxCap, MaxWL, MaxFanout are the per-net constraints (Table 5);
+	// violations are charged as equivalent capacitance.
+	MaxCap    float64
+	MaxWL     float64
+	MaxFanout int
+	// InitTemp is the starting temperature; 0 picks a default from the
+	// initial cost.
+	InitTemp float64
+}
+
+// DefaultSAOptions returns the options used by the hierarchical flow.
+func DefaultSAOptions(seed int64) SAOptions {
+	return SAOptions{
+		Iters: 400, Seed: seed,
+		P: 1, Q: 1,
+		CPerUm: 0.12, MaxCap: 150, MaxWL: 300, MaxFanout: 32,
+	}
+}
+
+// clusterState tracks incremental cluster statistics during annealing.
+type clusterState struct {
+	members map[int]bool
+	capSum  float64
+	bbox    geom.Rect
+	cx, cy  float64 // coordinate sums for the centroid
+}
+
+// saState is the annealing state over a whole partition.
+type saState struct {
+	pts      []geom.Point
+	caps     []float64
+	assign   []int
+	clusters []*clusterState
+	opt      SAOptions
+}
+
+func newSAState(pts []geom.Point, caps []float64, k int, assign []int, opt SAOptions) *saState {
+	st := &saState{pts: pts, caps: caps, assign: append([]int(nil), assign...), opt: opt}
+	st.clusters = make([]*clusterState, k)
+	for j := range st.clusters {
+		st.clusters[j] = &clusterState{members: make(map[int]bool), bbox: geom.EmptyRect()}
+	}
+	for i := range pts {
+		st.addTo(assign[i], i)
+	}
+	return st
+}
+
+func (st *saState) addTo(j, i int) {
+	c := st.clusters[j]
+	c.members[i] = true
+	c.capSum += st.caps[i]
+	c.bbox = c.bbox.Grow(st.pts[i])
+	c.cx += st.pts[i].X
+	c.cy += st.pts[i].Y
+	st.assign[i] = j
+}
+
+func (st *saState) removeFrom(j, i int) {
+	c := st.clusters[j]
+	delete(c.members, i)
+	c.capSum -= st.caps[i]
+	c.cx -= st.pts[i].X
+	c.cy -= st.pts[i].Y
+	// bbox must be rebuilt after removal.
+	c.bbox = geom.EmptyRect()
+	for m := range c.members {
+		c.bbox = c.bbox.Grow(st.pts[m])
+	}
+}
+
+// netCap estimates a cluster net's total capacitance: pins plus wire at the
+// HPWL-based length estimate.
+func (st *saState) netCap(j int) float64 {
+	c := st.clusters[j]
+	return c.capSum + st.opt.CPerUm*st.netWL(j)
+}
+
+// netWL estimates routed wirelength as 1.2 × bounding-box half-perimeter, a
+// standard pre-route estimate.
+func (st *saState) netWL(j int) float64 {
+	return 1.2 * st.clusters[j].bbox.HalfPerimeter()
+}
+
+// netDelayProxy is the T_j term: the cluster radius (max member distance
+// from the centroid), which tracks the net's max driver-to-sink delay.
+func (st *saState) netDelayProxy(j int) float64 {
+	c := st.clusters[j]
+	n := len(c.members)
+	if n == 0 {
+		return 0
+	}
+	ctr := geom.Pt(c.cx/float64(n), c.cy/float64(n))
+	var r float64
+	for m := range c.members {
+		if d := st.pts[m].Dist(ctr); d > r {
+			r = d
+		}
+	}
+	return r
+}
+
+// Cost evaluates the paper's partition metric over the current state:
+// p·σ(Cap) + q·σ(T) plus capacitance-unified constraint violations.
+func (st *saState) Cost() float64 {
+	k := len(st.clusters)
+	capV := make([]float64, 0, k)
+	tV := make([]float64, 0, k)
+	var viol float64
+	for j := range st.clusters {
+		if len(st.clusters[j].members) == 0 {
+			continue
+		}
+		nc := st.netCap(j)
+		capV = append(capV, nc)
+		tV = append(tV, st.netDelayProxy(j))
+		if nc > st.opt.MaxCap {
+			viol += nc - st.opt.MaxCap
+		}
+		if wl := st.netWL(j); wl > st.opt.MaxWL {
+			viol += st.opt.CPerUm * (wl - st.opt.MaxWL)
+		}
+		if st.opt.MaxFanout > 0 && len(st.clusters[j].members) > st.opt.MaxFanout {
+			// Each extra sink charged at the mean pin cap.
+			viol += float64(len(st.clusters[j].members)-st.opt.MaxFanout) * 2
+		}
+	}
+	return st.opt.P*variance(capV) + st.opt.Q*variance(tV) + 4*viol
+}
+
+func variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return v / float64(len(xs))
+}
+
+// perNetCost ranks nets for move selection: their own cap plus violations.
+func (st *saState) perNetCost(j int) float64 {
+	c := st.clusters[j]
+	if len(c.members) == 0 {
+		return 0
+	}
+	cost := st.netCap(j) + st.opt.CPerUm*st.netWL(j)
+	if nc := st.netCap(j); nc > st.opt.MaxCap {
+		cost += 4 * (nc - st.opt.MaxCap)
+	}
+	return cost
+}
+
+// RefineSA improves a balanced-k-means partition with the Fig. 4 local
+// search: repeatedly pick a high-cost net, take an instance on its convex
+// hull, move it to the nearest other net, and accept by the annealing rule.
+// Returns the refined assignment (the input slice is not modified).
+func RefineSA(pts []geom.Point, caps []float64, k int, assign []int, opt SAOptions) []int {
+	if opt.Iters <= 0 || k < 2 {
+		return append([]int(nil), assign...)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	st := newSAState(pts, caps, k, assign, opt)
+	cur := st.Cost()
+	best := cur
+	bestAssign := append([]int(nil), st.assign...)
+
+	temp := opt.InitTemp
+	if temp <= 0 {
+		temp = math.Max(cur*0.05, 1e-6)
+	}
+	cool := math.Pow(1e-3, 1/float64(opt.Iters)) // reach 0.1% of T0 at the end
+
+	for it := 0; it < opt.Iters; it++ {
+		j := st.pickCostlyNet(rng)
+		if j < 0 {
+			break
+		}
+		i := st.pickHullInstance(j, rng)
+		if i < 0 {
+			continue
+		}
+		to := st.nearestOtherNet(i, j)
+		if to < 0 {
+			continue
+		}
+		st.removeFrom(j, i)
+		st.addTo(to, i)
+		next := st.Cost()
+		delta := next - cur
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			cur = next
+			if cur < best {
+				best = cur
+				copy(bestAssign, st.assign)
+			}
+		} else {
+			// Reject: undo.
+			st.removeFrom(to, i)
+			st.addTo(j, i)
+		}
+		temp *= cool
+	}
+	return bestAssign
+}
+
+// pickCostlyNet samples nets with probability weighted by cost (greedy in
+// expectation — the paper's observation that descending net cost order
+// reduces global cost efficiently — but still stochastic for annealing).
+func (st *saState) pickCostlyNet(rng *rand.Rand) int {
+	var total float64
+	costs := make([]float64, len(st.clusters))
+	for j := range st.clusters {
+		c := st.perNetCost(j)
+		// Square to sharpen toward the worst nets.
+		costs[j] = c * c
+		total += costs[j]
+	}
+	if total <= 0 {
+		return -1
+	}
+	r := rng.Float64() * total
+	for j, c := range costs {
+		r -= c
+		if r <= 0 {
+			return j
+		}
+	}
+	return len(st.clusters) - 1
+}
+
+// pickHullInstance returns a member of net j lying on the cluster's convex
+// hull (a boundary instance, per the paper's first observation: moving
+// interior instances crosses interconnections).
+func (st *saState) pickHullInstance(j int, rng *rand.Rand) int {
+	c := st.clusters[j]
+	if len(c.members) <= 1 {
+		return -1
+	}
+	member := make([]int, 0, len(c.members))
+	locs := make([]geom.Point, 0, len(c.members))
+	for m := range c.members {
+		member = append(member, m)
+		locs = append(locs, st.pts[m])
+	}
+	hull := geom.ConvexHull(locs)
+	if len(hull) == 0 {
+		return -1
+	}
+	target := hull[rng.Intn(len(hull))]
+	for idx, m := range member {
+		if locs[idx].Eq(target) {
+			return m
+		}
+	}
+	return -1
+}
+
+// nearestOtherNet returns the cluster (≠ from) whose nearest member is
+// closest to point i.
+func (st *saState) nearestOtherNet(i, from int) int {
+	best, bd := -1, math.Inf(1)
+	for j := range st.clusters {
+		if j == from || len(st.clusters[j].members) == 0 {
+			continue
+		}
+		for m := range st.clusters[j].members {
+			if d := st.pts[i].Dist(st.pts[m]); d < bd {
+				best, bd = j, d
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,92 @@
+package rsmt
+
+import (
+	"sllt/internal/geom"
+	"sllt/internal/tree"
+)
+
+// hananThreshold bounds the terminal count for which Build upgrades to the
+// iterated 1-Steiner construction over the Hanan grid. The O(n⁴)-ish cost
+// is negligible below it and the quality gain matters most on small nets
+// (Table 1's demonstration net has 9 terminals).
+const hananThreshold = 12
+
+// iterated1Steiner repeatedly adds the Hanan-grid candidate that reduces
+// the MST over terminals+Steiner points the most, until no candidate helps.
+// Returns the chosen Steiner points.
+func iterated1Steiner(terms []geom.Point) []geom.Point {
+	var xs, ys []float64
+	for _, p := range terms {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	present := make(map[geom.Point]bool, len(terms))
+	for _, p := range terms {
+		present[p] = true
+	}
+
+	var steiners []geom.Point
+	pts := append([]geom.Point(nil), terms...)
+	for len(steiners) < len(terms) {
+		base := MSTWL(pts)
+		var best geom.Point
+		bestWL := base - geom.Eps
+		for _, x := range xs {
+			for _, y := range ys {
+				c := geom.Pt(x, y)
+				if present[c] {
+					continue
+				}
+				if wl := MSTWL(append(pts, c)); wl < bestWL {
+					bestWL, best = wl, c
+				}
+			}
+		}
+		if bestWL >= base-geom.Eps {
+			break
+		}
+		steiners = append(steiners, best)
+		pts = append(pts, best)
+		present[best] = true
+	}
+	return steiners
+}
+
+// buildSmall constructs the routing tree for nets with few terminals using
+// iterated 1-Steiner, then converts the MST over terminals+Steiner points
+// into a rooted tree.
+func buildSmall(net *tree.Net) *tree.Tree {
+	terms := append([]geom.Point{net.Source}, net.SinkPoints()...)
+	steiners := iterated1Steiner(terms)
+	pts := append(append([]geom.Point(nil), terms...), steiners...)
+	parent := MST(pts)
+
+	t := tree.New(net.Source)
+	nodes := make([]*tree.Node, len(pts))
+	nodes[0] = t.Root
+	for i := 1; i < len(terms); i++ {
+		nodes[i] = net.SinkNode(i - 1)
+	}
+	for i := len(terms); i < len(pts); i++ {
+		nodes[i] = tree.NewNode(tree.Steiner, pts[i])
+	}
+	attached := make([]bool, len(pts))
+	attached[0] = true
+	for remaining := len(pts) - 1; remaining > 0; {
+		progress := false
+		for i := 1; i < len(pts); i++ {
+			if !attached[i] && attached[parent[i]] {
+				nodes[parent[i]].AddChild(nodes[i])
+				attached[i] = true
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	tree.LegalizeSinkLeaves(t)
+	tree.RemoveRedundantSteiner(t)
+	return t
+}

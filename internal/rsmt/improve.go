@@ -1,0 +1,73 @@
+package rsmt
+
+import (
+	"sllt/internal/geom"
+	"sllt/internal/tree"
+)
+
+// Improve runs unconstrained wirelength local search on t: alternating
+// edge swaps (reattach a subtree to the nearest non-descendant vertex when
+// that shortens its incoming edge) with median-point Steinerization, until
+// neither pass finds a saving. Every accepted move strictly reduces total
+// wirelength, so the loop terminates.
+func Improve(t *tree.Tree) {
+	for pass := 0; pass < 16; pass++ {
+		moved := edgeSwapOnce(t)
+		Steinerize(t)
+		tree.RemoveRedundantSteiner(t)
+		if moved == 0 {
+			return
+		}
+	}
+}
+
+// edgeSwapOnce scans all (vertex, candidate-parent) pairs and applies every
+// profitable reattachment it finds in one sweep, refreshing subtree
+// intervals after each apply.
+func edgeSwapOnce(t *tree.Tree) int {
+	moves := 0
+	for {
+		nodes := t.Nodes()
+		index := make(map[*tree.Node]int, len(nodes))
+		last := make(map[*tree.Node]int, len(nodes))
+		i := 0
+		var number func(n *tree.Node)
+		number = func(n *tree.Node) {
+			index[n] = i
+			i++
+			for _, c := range n.Children {
+				number(c)
+			}
+			last[n] = i
+		}
+		number(t.Root)
+		inSub := func(w, v *tree.Node) bool { return index[w] >= index[v] && index[w] < last[v] }
+
+		var bestV, bestW *tree.Node
+		bestGain := geom.Eps
+		for _, v := range nodes {
+			if v.Parent == nil {
+				continue
+			}
+			cur := v.Parent.Loc.Dist(v.Loc)
+			for _, w := range nodes {
+				if w == v.Parent || inSub(w, v) {
+					continue
+				}
+				if gain := cur - w.Loc.Dist(v.Loc); gain > bestGain {
+					bestGain, bestV, bestW = gain, v, w
+				}
+			}
+		}
+		if bestV == nil {
+			break
+		}
+		bestV.Detach()
+		bestW.AddChild(bestV)
+		moves++
+	}
+	if moves > 0 {
+		tree.LegalizeSinkLeaves(t)
+	}
+	return moves
+}

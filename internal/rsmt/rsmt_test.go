@@ -1,0 +1,140 @@
+package rsmt
+
+import (
+	"math/rand"
+	"testing"
+
+	"sllt/internal/geom"
+	"sllt/internal/tree"
+)
+
+func randomNet(rng *rand.Rand, n int, box float64) *tree.Net {
+	net := &tree.Net{Name: "r", Source: geom.Pt(rng.Float64()*box, rng.Float64()*box)}
+	used := map[geom.Point]bool{net.Source: true}
+	for len(net.Sinks) < n {
+		p := geom.Pt(float64(rng.Intn(int(box))), float64(rng.Intn(int(box))))
+		if used[p] {
+			continue
+		}
+		used[p] = true
+		net.Sinks = append(net.Sinks, tree.PinSink{Name: "s", Loc: p, Cap: 1})
+	}
+	return net
+}
+
+func TestMSTKnown(t *testing.T) {
+	// Collinear points: MST is the chain, WL = 10.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(10, 0), geom.Pt(7, 0)}
+	if wl := MSTWL(pts); wl != 10 {
+		t.Errorf("MST WL = %g, want 10", wl)
+	}
+}
+
+func TestMSTSquare(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(0, 10), geom.Pt(10, 10)}
+	if wl := MSTWL(pts); wl != 30 {
+		t.Errorf("square MST WL = %g, want 30", wl)
+	}
+}
+
+func TestBuildValidTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		net := randomNet(rng, 2+rng.Intn(30), 100)
+		tr := Build(net)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := len(tr.Sinks()); got != len(net.Sinks) {
+			t.Fatalf("trial %d: %d sinks in tree, want %d", trial, got, len(net.Sinks))
+		}
+	}
+}
+
+// The classic Steiner win: 4 corners of a rectangle plus center-line
+// terminals. Steinerization must beat the plain MST.
+func TestSteinerBeatsMST(t *testing.T) {
+	net := &tree.Net{Source: geom.Pt(0, 0), Sinks: []tree.PinSink{
+		{Name: "a", Loc: geom.Pt(10, 10)},
+		{Name: "b", Loc: geom.Pt(10, -10)},
+		{Name: "c", Loc: geom.Pt(20, 0)},
+	}}
+	pts := append([]geom.Point{net.Source}, net.SinkPoints()...)
+	mstWL := MSTWL(pts)
+	tr := Build(net)
+	if tr.Wirelength() >= mstWL {
+		t.Errorf("steinerized WL %g not better than MST %g", tr.Wirelength(), mstWL)
+	}
+	// Optimal RSMT here: source-(10,0) trunk + three branches = 40.
+	if tr.Wirelength() != 40 {
+		t.Errorf("RSMT WL = %g, want 40 (optimal)", tr.Wirelength())
+	}
+}
+
+func TestSteinerNeverWorseThanMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var sumRatio float64
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		net := randomNet(rng, 5+rng.Intn(35), 200)
+		pts := append([]geom.Point{net.Source}, net.SinkPoints()...)
+		mstWL := MSTWL(pts)
+		got := Build(net).Wirelength()
+		if got > mstWL+geom.Eps {
+			t.Fatalf("trial %d: steinerized WL %g exceeds MST %g", trial, got, mstWL)
+		}
+		sumRatio += got / mstWL
+	}
+	// On random instances the heuristic should recover a solid chunk of the
+	// ~10-11% RSMT/RMST gap.
+	if avg := sumRatio / trials; avg > 0.97 {
+		t.Errorf("average WL ratio vs MST = %.4f, expected < 0.97", avg)
+	}
+}
+
+// Steiner insertion uses component-wise medians, so no source-sink path may
+// lengthen relative to the MST routing.
+func TestSteinerPreservesPathLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		net := randomNet(rng, 3+rng.Intn(25), 150)
+		pts := append([]geom.Point{net.Source}, net.SinkPoints()...)
+		parent := MST(pts)
+		mst := treeFromParents(net, pts, parent)
+		before := sinkPLs(mst, net)
+		st := mst.Clone()
+		Steinerize(st)
+		after := sinkPLs(st, net)
+		for i := range before {
+			if after[i] > before[i]+geom.Eps {
+				t.Fatalf("trial %d: sink %d path grew %g -> %g", trial, i, before[i], after[i])
+			}
+		}
+	}
+}
+
+func sinkPLs(t *tree.Tree, net *tree.Net) []float64 {
+	out := make([]float64, len(net.Sinks))
+	for _, s := range t.Sinks() {
+		out[s.SinkIdx] = tree.PathLength(s)
+	}
+	return out
+}
+
+func TestMedian3(t *testing.T) {
+	m := median3(geom.Pt(0, 5), geom.Pt(10, 0), geom.Pt(4, 9))
+	if !m.Eq(geom.Pt(4, 5)) {
+		t.Errorf("median3 = %v, want (4,5)", m)
+	}
+}
+
+func TestBuildSingleSink(t *testing.T) {
+	net := &tree.Net{Source: geom.Pt(0, 0), Sinks: []tree.PinSink{{Name: "a", Loc: geom.Pt(5, 5), Cap: 1}}}
+	tr := Build(net)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Wirelength() != 10 {
+		t.Errorf("WL = %g, want 10", tr.Wirelength())
+	}
+}

@@ -1,0 +1,110 @@
+package salt
+
+import (
+	"sllt/internal/geom"
+	"sllt/internal/tree"
+)
+
+// Reroute greedily reattaches subtrees to nearer tree vertices when doing so
+// saves wire without pushing any sink's path length beyond
+// max((1+eps)·MD(sink), its current length). It is the "optimize" half of
+// the paper's Step 3 ("the SALT algorithm is used to relax and optimize
+// above topology"): the relaxation bounds shallowness, the rerouting
+// recovers lightness. Returns the number of reattachments performed.
+func Reroute(t *tree.Tree, eps float64) int {
+	if t == nil || t.Root == nil || eps < 0 {
+		eps = 0
+	}
+	moves := 0
+	// One reattachment per scan, with bookkeeping rebuilt from scratch in
+	// between: O(n²) per move, and the move count is bounded because every
+	// move strictly reduces total wirelength.
+	maxMoves := 4*len(t.Nodes()) + 8
+	for moves < maxMoves {
+		if rerouteOnce(t, eps) == 0 {
+			break
+		}
+		moves++
+	}
+	// Reattachment targets may be sinks; restore the load-pins-are-leaves
+	// invariant by splitting them into Steiner + zero-length leaf.
+	tree.LegalizeSinkLeaves(t)
+	return moves
+}
+
+func rerouteOnce(t *tree.Tree, eps float64) int {
+	root := t.Root
+	nodes := t.Nodes()
+	pl := make(map[*tree.Node]float64, len(nodes))
+	for _, n := range nodes {
+		pl[n] = tree.PathLength(n)
+	}
+	// slack[v]: the largest uniform path increase the sinks below v (and v
+	// itself, if a sink) can absorb while staying within (1+eps)·MD. Nodes
+	// with no sinks below have unlimited slack.
+	slack := make(map[*tree.Node]float64, len(nodes))
+	var comp func(n *tree.Node) float64
+	comp = func(n *tree.Node) float64 {
+		s := 1e18
+		if n.Kind == tree.Sink {
+			md := root.Loc.Dist(n.Loc)
+			s = (1+eps)*md - pl[n]
+		}
+		for _, c := range n.Children {
+			if cs := comp(c); cs < s {
+				s = cs
+			}
+		}
+		slack[n] = s
+		return s
+	}
+	comp(root)
+
+	// inSubtree via preorder intervals.
+	index := make(map[*tree.Node]int, len(nodes))
+	last := make(map[*tree.Node]int, len(nodes))
+	i := 0
+	var number func(n *tree.Node)
+	number = func(n *tree.Node) {
+		index[n] = i
+		i++
+		for _, c := range n.Children {
+			number(c)
+		}
+		last[n] = i
+	}
+	number(root)
+	inSub := func(w, v *tree.Node) bool { return index[w] >= index[v] && index[w] < last[v] }
+
+	moved := 0
+	for _, v := range nodes {
+		if v.Parent == nil {
+			continue
+		}
+		bestGain := geom.Eps
+		var bestW *tree.Node
+		for _, w := range nodes {
+			if w == v.Parent || inSub(w, v) {
+				continue
+			}
+			gain := v.Parent.Loc.Dist(v.Loc) - w.Loc.Dist(v.Loc)
+			if gain <= bestGain {
+				continue
+			}
+			delta := pl[w] + w.Loc.Dist(v.Loc) - pl[v]
+			if delta > slack[v]+1e-9 && delta > 1e-9 {
+				continue // would overrun a sink's shallowness budget
+			}
+			bestGain, bestW = gain, w
+		}
+		if bestW != nil {
+			v.Detach()
+			bestW.AddChild(v)
+			// Conservative single-move-per-pass bookkeeping: recompute on
+			// the next pass rather than patching pl/slack incrementally.
+			moved++
+			return moved
+		}
+	}
+	return moved
+}

@@ -1,0 +1,68 @@
+package salt
+
+import (
+	"math/rand"
+	"testing"
+
+	"sllt/internal/geom"
+	"sllt/internal/rsmt"
+	"sllt/internal/tree"
+)
+
+func TestRerouteNeverIncreasesWL(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 20; trial++ {
+		net := randomNet(rng, 5+rng.Intn(30), 100)
+		tr := Build(net, 0.2)
+		before := tr.Wirelength()
+		Reroute(tr, 0.2)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if after := tr.Wirelength(); after > before+geom.Eps {
+			t.Fatalf("trial %d: reroute grew WL %g -> %g", trial, before, after)
+		}
+		if got := len(tr.Sinks()); got != len(net.Sinks) {
+			t.Fatalf("trial %d: sink count changed", trial)
+		}
+	}
+}
+
+func TestRerouteRespectsShallownessBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	const eps = 0.3
+	for trial := 0; trial < 20; trial++ {
+		net := randomNet(rng, 10+rng.Intn(20), 100)
+		tr := Build(net, eps)
+		Reroute(tr, eps)
+		for _, s := range tr.Sinks() {
+			md := net.Source.Dist(s.Loc)
+			if pl := tree.PathLength(s); pl > (1+eps)*md+1e-6 {
+				t.Fatalf("trial %d: sink PL %g exceeds (1+eps)MD %g after reroute", trial, pl, (1+eps)*md)
+			}
+		}
+	}
+}
+
+// A star tree (every sink wired from the source) should collapse toward an
+// MST-like structure when eps is generous.
+func TestRerouteImprovesStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	net := randomNet(rng, 20, 100)
+	star := tree.New(net.Source)
+	for i := range net.Sinks {
+		star.Root.AddChild(net.SinkNode(i))
+	}
+	before := star.Wirelength()
+	Reroute(star, 10)
+	after := star.Wirelength()
+	if after >= before {
+		t.Fatalf("reroute failed to improve star: %g -> %g", before, after)
+	}
+	// With an essentially unconstrained budget the result should approach
+	// the MST (within a generous factor).
+	pts := append([]geom.Point{net.Source}, net.SinkPoints()...)
+	if mst := rsmt.MSTWL(pts); after > 1.3*mst {
+		t.Errorf("rerouted star WL %g still far above MST %g", after, mst)
+	}
+}

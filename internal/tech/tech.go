@@ -1,0 +1,51 @@
+// Package tech holds the process-technology parameters shared by delay,
+// capacitance and buffering calculations.
+//
+// Unit system (chosen so Elmore products come out in picoseconds directly):
+//
+//	length       µm
+//	resistance   kΩ (wire resistance given per µm)
+//	capacitance  fF (wire capacitance given per µm)
+//	time         ps   (1 kΩ · 1 fF = 1 ps)
+//	area         µm²
+//
+// The default values model a 28 nm process clock routing layer pair; they are
+// synthetic (no PDK is available) but calibrated so that net-level wire
+// delays, load capacitances and full-flow latencies land in the ranges the
+// paper reports (Tables 2, 3, 6, 7).
+package tech
+
+// Tech is a process technology description.
+type Tech struct {
+	Name string
+
+	// RPerUm is wire resistance in kΩ/µm.
+	RPerUm float64
+	// CPerUm is wire capacitance in fF/µm.
+	CPerUm float64
+	// SinkCap is the default flip-flop clock pin capacitance in fF.
+	SinkCap float64
+}
+
+// Default28nm returns the synthetic 28 nm-class technology used throughout
+// the experiments.
+func Default28nm() Tech {
+	return Tech{
+		Name:    "sim28",
+		RPerUm:  0.003, // 3 Ω/µm
+		CPerUm:  0.12,  // 0.12 fF/µm
+		SinkCap: 1.2,   // fF
+	}
+}
+
+// WireCap returns the capacitance of length µm of wire, in fF.
+func (t Tech) WireCap(length float64) float64 { return t.CPerUm * length }
+
+// WireRes returns the resistance of length µm of wire, in kΩ.
+func (t Tech) WireRes(length float64) float64 { return t.RPerUm * length }
+
+// WireElmore returns the Elmore delay in ps of a wire of the given length
+// driving the given downstream load (fF): r·L·(c·L/2 + load).
+func (t Tech) WireElmore(length, load float64) float64 {
+	return t.RPerUm * length * (t.CPerUm*length/2 + load)
+}

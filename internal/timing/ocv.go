@@ -1,0 +1,167 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"sllt/internal/liberty"
+	"sllt/internal/tech"
+	"sllt/internal/tree"
+)
+
+// OCVParams model on-chip variation as early/late derating factors on wire
+// and cell delays — the graph-based OCV approximation production STA uses.
+// The paper's introduction motivates SLLT with exactly this effect:
+// balanced-but-deep clock trees accumulate derate spread along their long
+// divergent paths, so trees that are shallow where it counts see less
+// variation-induced skew.
+type OCVParams struct {
+	WireEarly float64 // multiplier on wire delay for the early race
+	WireLate  float64 // multiplier on wire delay for the late race
+	CellEarly float64 // multiplier on buffer delay, early
+	CellLate  float64 // multiplier on buffer delay, late
+}
+
+// DefaultOCV returns ±5 % wire and ±8 % cell derates, typical sign-off
+// values at 28 nm.
+func DefaultOCV() OCVParams {
+	return OCVParams{WireEarly: 0.95, WireLate: 1.05, CellEarly: 0.92, CellLate: 1.08}
+}
+
+// OCVReport is the variation-aware skew analysis result.
+type OCVReport struct {
+	// NaiveSkew is max late arrival − min early arrival: the bound without
+	// common-path pessimism removal.
+	NaiveSkew float64
+	// Skew is the CPPR-corrected worst pair skew: derates only apply where
+	// two sink paths actually diverge, since the shared trunk cannot be
+	// simultaneously fast and slow.
+	Skew float64
+	// Pessimism is the credit CPPR recovered on the worst pair.
+	Pessimism float64
+}
+
+// AnalyzeOCV computes variation-aware clock skew over a buffered tree. The
+// CPPR-corrected skew is found by a single tree DP: two sink paths diverge
+// at their lowest common ancestor, so the worst corrected pair through a
+// node v is (max late arrival below one child of v) − (min early arrival
+// below another), both measured from v.
+func AnalyzeOCV(t *tree.Tree, lib *liberty.Library, tc tech.Tech, sourceSlew float64, p OCVParams) (*OCVReport, error) {
+	if t == nil || t.Root == nil {
+		return nil, fmt.Errorf("timing: nil tree")
+	}
+	// Stage capacitances (nominal — variation on caps is second-order).
+	stageCap := make(map[*tree.Node]float64)
+	bufLoad := make(map[*tree.Node]float64)
+	var capOf func(n *tree.Node) float64
+	capOf = func(n *tree.Node) float64 {
+		var c float64
+		switch n.Kind {
+		case tree.Sink:
+			c = n.PinCap
+		case tree.Buffer:
+			for _, ch := range n.Children {
+				capOf(ch)
+			}
+			var cone float64
+			for _, ch := range n.Children {
+				cone += tc.WireCap(ch.EdgeLen) + stageCap[ch]
+			}
+			bufLoad[n] = cone
+			stageCap[n] = n.PinCap
+			return n.PinCap
+		}
+		for _, ch := range n.Children {
+			c += tc.WireCap(ch.EdgeLen) + capOf(ch)
+		}
+		stageCap[n] = c
+		return c
+	}
+	capOf(t.Root)
+
+	// nodeDelay returns the nominal delay contribution of n itself (its
+	// buffer, if any) plus the wire into n.
+	nominalEdge := func(n *tree.Node) (wire, cell float64, err error) {
+		if n.Parent != nil {
+			wire = tc.WireElmore(n.EdgeLen, stageCap[n])
+		}
+		if n.Kind == tree.Buffer {
+			c := lib.Cell(n.BufCell)
+			if c == nil {
+				return 0, 0, fmt.Errorf("timing: unknown buffer cell %q", n.BufCell)
+			}
+			cell = c.Delay(sourceSlew, bufLoad[n])
+		}
+		return wire, cell, nil
+	}
+
+	rep := &OCVReport{}
+	worstPair := math.Inf(-1)
+	globalLate, globalEarly := math.Inf(-1), math.Inf(1)
+
+	// DP: for every node, the extreme early/late arrivals of sinks in its
+	// subtree, measured from the node itself (after its own buffer).
+	type ext struct{ minEarly, maxLate float64 }
+	var analyzeErr error
+	var dp func(n *tree.Node, lateFromRoot, earlyFromRoot float64) ext
+	dp = func(n *tree.Node, lateFromRoot, earlyFromRoot float64) ext {
+		if analyzeErr != nil {
+			return ext{}
+		}
+		if n.Kind == tree.Sink {
+			if lateFromRoot > globalLate {
+				globalLate = lateFromRoot
+			}
+			if earlyFromRoot < globalEarly {
+				globalEarly = earlyFromRoot
+			}
+			return ext{0, 0}
+		}
+		kids := make([]ext, 0, len(n.Children))
+		for _, ch := range n.Children {
+			wire, cell, err := nominalEdge(ch)
+			if err != nil {
+				analyzeErr = err
+				return ext{}
+			}
+			late := wire*p.WireLate + cell*p.CellLate
+			early := wire*p.WireEarly + cell*p.CellEarly
+			e := dp(ch, lateFromRoot+late, earlyFromRoot+early)
+			kids = append(kids, ext{e.minEarly + early, e.maxLate + late})
+		}
+		out := ext{math.Inf(1), math.Inf(-1)}
+		for _, k := range kids {
+			out.minEarly = math.Min(out.minEarly, k.minEarly)
+			out.maxLate = math.Max(out.maxLate, k.maxLate)
+		}
+		// Cross-pair skew through this divergence point.
+		for i := range kids {
+			for j := range kids {
+				if i == j {
+					continue
+				}
+				if s := kids[i].maxLate - kids[j].minEarly; s > worstPair {
+					worstPair = s
+				}
+			}
+		}
+		if len(kids) == 0 {
+			return ext{0, 0}
+		}
+		return out
+	}
+	dp(t.Root, 0, 0)
+	if analyzeErr != nil {
+		return nil, analyzeErr
+	}
+	if math.IsInf(globalLate, -1) {
+		return nil, fmt.Errorf("timing: tree has no sinks")
+	}
+	rep.NaiveSkew = globalLate - globalEarly
+	if math.IsInf(worstPair, -1) {
+		worstPair = 0 // single sink
+	}
+	rep.Skew = math.Max(worstPair, 0)
+	rep.Pessimism = rep.NaiveSkew - rep.Skew
+	return rep, nil
+}

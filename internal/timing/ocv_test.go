@@ -1,0 +1,119 @@
+package timing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sllt/internal/dme"
+	"sllt/internal/geom"
+	"sllt/internal/liberty"
+	"sllt/internal/tech"
+	"sllt/internal/tree"
+)
+
+// Long shared trunk, short divergence: CPPR must recover almost all of the
+// naive pessimism.
+func TestOCVCPPRRecoversSharedTrunk(t *testing.T) {
+	lib := liberty.Default()
+	tc := tech.Default28nm()
+	tr := tree.New(geom.Pt(0, 0))
+	trunkEnd := tree.NewNode(tree.Steiner, geom.Pt(400, 0))
+	tr.Root.AddChild(trunkEnd)
+	a := tree.NewNode(tree.Sink, geom.Pt(405, 5))
+	a.PinCap = 1
+	a.SinkIdx = 0
+	b := tree.NewNode(tree.Sink, geom.Pt(405, -5))
+	b.PinCap = 1
+	b.SinkIdx = 1
+	trunkEnd.AddChild(a)
+	trunkEnd.AddChild(b)
+
+	rep, err := AnalyzeOCV(tr, lib, tc, 20, DefaultOCV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NaiveSkew <= 0 {
+		t.Fatalf("naive skew = %g", rep.NaiveSkew)
+	}
+	// The 400 µm trunk dominates both paths; CPPR keeps only the 10 µm
+	// divergence's derate spread.
+	if rep.Skew > rep.NaiveSkew*0.2 {
+		t.Errorf("CPPR skew %g did not recover trunk pessimism (naive %g)", rep.Skew, rep.NaiveSkew)
+	}
+	if math.Abs(rep.Pessimism-(rep.NaiveSkew-rep.Skew)) > 1e-9 {
+		t.Error("pessimism accounting inconsistent")
+	}
+}
+
+func TestOCVZeroDerateMatchesNominal(t *testing.T) {
+	lib := liberty.Default()
+	tc := tech.Default28nm()
+	rng := rand.New(rand.NewSource(81))
+	net := &tree.Net{Source: geom.Pt(40, 40)}
+	for i := 0; i < 20; i++ {
+		net.Sinks = append(net.Sinks, tree.PinSink{
+			Name: "s", Loc: geom.Pt(rng.Float64()*80, rng.Float64()*80), Cap: 1.2,
+		})
+	}
+	topo := dme.GenTopo(net, dme.GreedyDist, 0)
+	tr, err := dme.Build(net, topo, dme.Options{Model: dme.Elmore, SkewBound: 5, Tech: tc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := OCVParams{WireEarly: 1, WireLate: 1, CellEarly: 1, CellLate: 1}
+	rep, err := AnalyzeOCV(tr, lib, tc, 20, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxD, skew := Unbuffered(tr, tc)
+	_ = maxD
+	if math.Abs(rep.NaiveSkew-skew) > 1e-6 {
+		t.Errorf("unit-derate naive skew %g != nominal skew %g", rep.NaiveSkew, skew)
+	}
+	if rep.Skew > rep.NaiveSkew+1e-9 {
+		t.Error("CPPR skew exceeds naive skew")
+	}
+}
+
+// The paper's OCV motivation: variation-induced skew grows with the delay
+// depth below divergence points, so the same zero-nominal-skew construction
+// on a larger (higher-latency) net leaves more residual OCV skew even after
+// CPPR. Verified by scaling one net geometry.
+func TestOCVGrowsWithTreeDepth(t *testing.T) {
+	lib := liberty.Default()
+	tc := tech.Default28nm()
+	rng := rand.New(rand.NewSource(82))
+	buildZST := func(scale float64) *tree.Tree {
+		r := rand.New(rand.NewSource(82))
+		_ = rng
+		net := &tree.Net{Source: geom.Pt(37.5*scale, 37.5*scale)}
+		used := map[geom.Point]bool{}
+		for len(net.Sinks) < 24 {
+			p := geom.Pt(float64(r.Intn(75))*scale, float64(r.Intn(75))*scale)
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			net.Sinks = append(net.Sinks, tree.PinSink{Name: "s", Loc: p, Cap: 1.2})
+		}
+		topo := dme.GenTopo(net, dme.GreedyDist, 0)
+		tr, err := dme.Build(net, topo, dme.Options{Model: dme.Elmore, SkewBound: 0.01, Tech: tc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	small, err := AnalyzeOCV(buildZST(1), lib, tc, 20, DefaultOCV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := AnalyzeOCV(buildZST(4), lib, tc, 20, DefaultOCV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nominal skew of both is ~0; the residual is pure variation.
+	if large.Skew <= small.Skew {
+		t.Errorf("OCV skew did not grow with tree depth: %g (4x) vs %g (1x)", large.Skew, small.Skew)
+	}
+}

@@ -1,0 +1,135 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"sllt/internal/geom"
+	"sllt/internal/liberty"
+	"sllt/internal/tech"
+	"sllt/internal/tree"
+)
+
+// buffered chain: source -> BUF(at 0,0) -> wire 100 -> sink(100,0).
+func bufferedChain(lib *liberty.Library) (*tree.Tree, *liberty.BufferCell) {
+	t := tree.New(geom.Pt(0, 0))
+	cell := lib.Cell("CLKBUFX4")
+	buf := tree.NewNode(tree.Buffer, geom.Pt(0, 0))
+	buf.BufCell = cell.Name
+	buf.PinCap = cell.InputCap
+	t.Root.AddChild(buf)
+	sink := tree.NewNode(tree.Sink, geom.Pt(100, 0))
+	sink.PinCap = 2
+	sink.SinkIdx = 0
+	buf.AddChild(sink)
+	return t, cell
+}
+
+func TestAnalyzeChainByHand(t *testing.T) {
+	lib := liberty.Default()
+	tc := tech.Default28nm()
+	tr, cell := bufferedChain(lib)
+	rep, err := Analyze(tr, lib, tc, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage load of the buffer: 100 µm wire + 2 fF pin.
+	load := tc.WireCap(100) + 2
+	wantBuf := cell.Delay(10, load)
+	wantWire := tc.WireElmore(100, 2)
+	want := wantBuf + wantWire
+	if math.Abs(rep.MaxLatency-want) > 1e-9 {
+		t.Errorf("latency = %g, want %g", rep.MaxLatency, want)
+	}
+	if rep.Skew != 0 {
+		t.Errorf("single-sink skew = %g", rep.Skew)
+	}
+	if rep.Buffers != 1 || math.Abs(rep.BufArea-cell.Area) > 1e-12 {
+		t.Errorf("buffers = %d area %g", rep.Buffers, rep.BufArea)
+	}
+	wantCap := tc.WireCap(100) + 2 + cell.InputCap
+	if math.Abs(rep.ClockCap-wantCap) > 1e-9 {
+		t.Errorf("clock cap = %g, want %g", rep.ClockCap, wantCap)
+	}
+	if rep.WL != 100 {
+		t.Errorf("WL = %g", rep.WL)
+	}
+	if math.Abs(rep.MaxStgCap-load) > 1e-9 {
+		t.Errorf("stage cap = %g, want %g", rep.MaxStgCap, load)
+	}
+}
+
+// Buffers isolate downstream capacitance: adding load behind a buffer must
+// not change the delay of a sibling branch before the buffer.
+func TestBufferIsolatesCap(t *testing.T) {
+	lib := liberty.Default()
+	tc := tech.Default28nm()
+
+	build := func(extraLoad float64) float64 {
+		tr := tree.New(geom.Pt(0, 0))
+		fork := tree.NewNode(tree.Steiner, geom.Pt(10, 0))
+		tr.Root.AddChild(fork)
+		s1 := tree.NewNode(tree.Sink, geom.Pt(10, 20))
+		s1.PinCap = 2
+		s1.SinkIdx = 0
+		fork.AddChild(s1)
+		buf := tree.NewNode(tree.Buffer, geom.Pt(20, 0))
+		buf.BufCell = "CLKBUFX2"
+		buf.PinCap = lib.Cell("CLKBUFX2").InputCap
+		fork.AddChild(buf)
+		s2 := tree.NewNode(tree.Sink, geom.Pt(20+extraLoad, 0))
+		s2.PinCap = 2
+		s2.SinkIdx = 1
+		buf.AddChild(s2)
+		rep, err := Analyze(tr, lib, tc, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.SinkLatency[0]
+	}
+	if a, b := build(10), build(100); math.Abs(a-b) > 1e-9 {
+		t.Errorf("sibling latency changed with post-buffer load: %g vs %g", a, b)
+	}
+}
+
+func TestSlewDegradesAlongWire(t *testing.T) {
+	lib := liberty.Default()
+	tc := tech.Default28nm()
+
+	slewAt := func(length float64) float64 {
+		tr := tree.New(geom.Pt(0, 0))
+		buf := tree.NewNode(tree.Buffer, geom.Pt(0, 0))
+		buf.BufCell = "CLKBUFX8"
+		buf.PinCap = lib.Cell("CLKBUFX8").InputCap
+		tr.Root.AddChild(buf)
+		s := tree.NewNode(tree.Sink, geom.Pt(length, 0))
+		s.PinCap = 2
+		s.SinkIdx = 0
+		buf.AddChild(s)
+		rep, err := Analyze(tr, lib, tc, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MaxSlew
+	}
+	if s50, s300 := slewAt(50), slewAt(300); s300 <= s50 {
+		t.Errorf("slew should degrade with wire length: %g vs %g", s50, s300)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	lib := liberty.Default()
+	tc := tech.Default28nm()
+	if _, err := Analyze(nil, lib, tc, 10); err == nil {
+		t.Error("nil tree should error")
+	}
+	tr := tree.New(geom.Pt(0, 0))
+	if _, err := Analyze(tr, lib, tc, 10); err == nil {
+		t.Error("sinkless tree should error")
+	}
+	tr2, _ := bufferedChain(lib)
+	tr2.Buffers()[0].BufCell = "NOPE"
+	if _, err := Analyze(tr2, lib, tc, 10); err == nil {
+		t.Error("unknown buffer cell should error")
+	}
+}

@@ -1,0 +1,181 @@
+package tree
+
+import (
+	"math"
+
+	"sllt/internal/geom"
+)
+
+// Canonicalize enforces the paper's Step-4 structural rules in place:
+//  1. load pin (sink) nodes are leaf nodes;
+//  2. the tree is binary (every internal node has at most two children);
+//
+// and additionally removes redundant Steiner nodes (degree-1 pass-throughs
+// and childless Steiner leaves), which Step 2 and Step 5 also require.
+func Canonicalize(t *Tree) {
+	LegalizeSinkLeaves(t)
+	RemoveRedundantSteiner(t)
+	Binarize(t)
+}
+
+// LegalizeSinkLeaves rewrites any sink that has children into a Steiner node
+// at the same location with the sink re-attached as a zero-length leaf child.
+func LegalizeSinkLeaves(t *Tree) {
+	// Collect first: we mutate the structure while walking otherwise.
+	var bad []*Node
+	t.Walk(func(n *Node) bool {
+		if n.Kind == Sink && len(n.Children) > 0 {
+			bad = append(bad, n)
+		}
+		return true
+	})
+	for _, s := range bad {
+		st := NewNode(Steiner, s.Loc)
+		st.Parent = s.Parent
+		st.EdgeLen = s.EdgeLen
+		if p := s.Parent; p != nil {
+			for i, c := range p.Children {
+				if c == s {
+					p.Children[i] = st
+					break
+				}
+			}
+		} else {
+			// A sink acting as root is unusual but possible in sub-trees.
+			t.Root = st
+		}
+		st.Children = s.Children
+		for _, c := range st.Children {
+			c.Parent = st
+		}
+		s.Children = nil
+		s.Parent = st
+		s.EdgeLen = 0
+		st.Children = append(st.Children, s)
+	}
+}
+
+// RemoveRedundantSteiner deletes Steiner leaves and splices out Steiner (and
+// buffer-less pass-through) nodes with exactly one child, accumulating edge
+// lengths so path lengths are preserved.
+func RemoveRedundantSteiner(t *Tree) {
+	changed := true
+	for changed {
+		changed = false
+		var rec func(n *Node)
+		rec = func(n *Node) {
+			for i := 0; i < len(n.Children); i++ {
+				c := n.Children[i]
+				if c.Kind == Steiner && len(c.Children) == 0 {
+					// Childless Steiner point: drop.
+					n.Children = append(n.Children[:i], n.Children[i+1:]...)
+					i--
+					changed = true
+					continue
+				}
+				if c.Kind == Steiner && len(c.Children) == 1 {
+					// Pass-through: splice out, keeping total length.
+					g := c.Children[0]
+					g.EdgeLen += c.EdgeLen
+					g.Parent = n
+					n.Children[i] = g
+					changed = true
+					i--
+					continue
+				}
+				rec(c)
+			}
+		}
+		rec(t.Root)
+		// A root Steiner with a single child cannot be spliced (the root is
+		// the source), so only the recursion above applies.
+	}
+}
+
+// Binarize inserts zero-length Steiner nodes so that no node has more than
+// two children. Children are paired greedily by proximity, which gives DME
+// better merge candidates than arbitrary pairing.
+func Binarize(t *Tree) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		for _, c := range n.Children {
+			rec(c)
+		}
+		for len(n.Children) > 2 {
+			i, j := closestPair(n.Children)
+			a, b := n.Children[i], n.Children[j]
+			// Remove b then a (j > i always from closestPair).
+			n.Children = append(n.Children[:j], n.Children[j+1:]...)
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			st := NewNode(Steiner, n.Loc)
+			st.Parent = n
+			st.EdgeLen = 0
+			st.Children = []*Node{a, b}
+			a.Parent, b.Parent = st, st
+			n.Children = append(n.Children, st)
+		}
+	}
+	rec(t.Root)
+}
+
+// closestPair returns indices i < j of the two nodes whose locations are
+// nearest in Manhattan distance.
+func closestPair(nodes []*Node) (int, int) {
+	bi, bj := 0, 1
+	best := math.Inf(1)
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if d := nodes[i].Loc.Dist(nodes[j].Loc); d < best {
+				best, bi, bj = d, i, j
+			}
+		}
+	}
+	return bi, bj
+}
+
+// SplitEdge inserts a Steiner node on the wire from n's parent to n at the
+// given distance from the parent (along an L-shaped embedding through the
+// horizontal-then-vertical bend). It returns the new node. dist must lie in
+// (0, n.EdgeLen).
+func SplitEdge(n *Node, dist float64) *Node {
+	p := n.Parent
+	if p == nil || dist <= 0 || dist >= n.EdgeLen {
+		return nil
+	}
+	loc := PointAlongL(p.Loc, n.Loc, n.EdgeLen, dist)
+	st := NewNode(Steiner, loc)
+	st.Parent = p
+	st.EdgeLen = dist
+	for i, c := range p.Children {
+		if c == n {
+			p.Children[i] = st
+			break
+		}
+	}
+	n.Parent = st
+	n.EdgeLen -= dist
+	st.Children = []*Node{n}
+	return st
+}
+
+// PointAlongL returns the point at routed distance d from a toward b along
+// an L-shaped (horizontal-then-vertical) embedding whose total length is
+// edgeLen. When edgeLen exceeds the Manhattan distance (snaked wire), the
+// surplus is treated as spent at the bend, keeping the returned point on the
+// nominal L route.
+func PointAlongL(a, b geom.Point, edgeLen, d float64) geom.Point {
+	md := a.Dist(b)
+	if md == 0 {
+		return a
+	}
+	// Scale d onto the physical L path proportionally when wire is snaked.
+	if edgeLen > md && edgeLen > 0 {
+		d = d * md / edgeLen
+	}
+	dx := math.Abs(b.X - a.X)
+	if d <= dx {
+		return geom.Pt(a.X+math.Copysign(d, b.X-a.X), a.Y)
+	}
+	rem := d - dx
+	return geom.Pt(b.X, a.Y+math.Copysign(rem, b.Y-a.Y))
+}

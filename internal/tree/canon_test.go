@@ -1,0 +1,124 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"sllt/internal/geom"
+)
+
+func TestRemoveRedundantSteiner(t *testing.T) {
+	net := &Net{Source: geom.Pt(0, 0), Sinks: []PinSink{{Name: "a", Loc: geom.Pt(10, 0)}}}
+	tr := New(net.Source)
+	// source -> st1(3,0) -> st2(6,0) -> sink(10,0), plus dangling steiner leaf.
+	st1 := NewNode(Steiner, geom.Pt(3, 0))
+	st2 := NewNode(Steiner, geom.Pt(6, 0))
+	tr.Root.AddChild(st1)
+	st1.AddChild(st2)
+	st2.AddChild(net.SinkNode(0))
+	dead := NewNode(Steiner, geom.Pt(5, 5))
+	tr.Root.AddChild(dead)
+
+	RemoveRedundantSteiner(tr)
+	if n := tr.CountKind(Steiner); n != 0 {
+		t.Fatalf("steiner nodes remaining: %d", n)
+	}
+	sink := tr.Sinks()[0]
+	if PathLength(sink) != 10 {
+		t.Errorf("path length after splice = %g, want 10", PathLength(sink))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveRedundantKeepsBranches(t *testing.T) {
+	tr, _ := chainTree()
+	before := tr.CountKind(Steiner)
+	RemoveRedundantSteiner(tr)
+	if tr.CountKind(Steiner) != before {
+		t.Error("branching steiner node was removed")
+	}
+}
+
+func TestBinarize(t *testing.T) {
+	net := &Net{Source: geom.Pt(0, 0), Sinks: []PinSink{
+		{Name: "a", Loc: geom.Pt(10, 0)},
+		{Name: "b", Loc: geom.Pt(11, 1)},
+		{Name: "c", Loc: geom.Pt(-10, 0)},
+		{Name: "d", Loc: geom.Pt(0, 10)},
+	}}
+	tr := New(net.Source)
+	for i := range net.Sinks {
+		tr.Root.AddChild(net.SinkNode(i))
+	}
+	Binarize(tr)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Walk(func(n *Node) bool {
+		if len(n.Children) > 2 {
+			t.Errorf("node at %v has %d children after Binarize", n.Loc, len(n.Children))
+		}
+		return true
+	})
+	// Path lengths to sinks are preserved (zero-length steiner insertions).
+	for _, s := range tr.Sinks() {
+		want := net.Source.Dist(s.Loc)
+		if PathLength(s) != want {
+			t.Errorf("PL(%s) = %g, want %g", s.Name, PathLength(s), want)
+		}
+	}
+	// a and b are closest; they should share the deepest group.
+	var a *Node
+	for _, s := range tr.Sinks() {
+		if s.Name == "a" {
+			a = s
+		}
+	}
+	foundB := false
+	for _, c := range a.Parent.Children {
+		if c.Name == "b" {
+			foundB = true
+		}
+	}
+	if !foundB {
+		t.Error("nearest sinks a and b were not paired first")
+	}
+}
+
+func TestCanonicalizeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(15)
+		net := &Net{Source: geom.Pt(0, 0)}
+		for i := 0; i < n; i++ {
+			net.Sinks = append(net.Sinks, PinSink{
+				Name: "s", Loc: geom.Pt(float64(rng.Intn(1000)), float64(rng.Intn(1000))), Cap: 1,
+			})
+		}
+		// Star tree with spurious pass-through steiner nodes.
+		tr := New(net.Source)
+		for i := range net.Sinks {
+			mid := NewNode(Steiner, net.Source.Lerp(net.Sinks[i].Loc, 0.5))
+			tr.Root.AddChild(mid)
+			mid.AddChild(net.SinkNode(i))
+		}
+		Canonicalize(tr)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		tr.Walk(func(nd *Node) bool {
+			if len(nd.Children) > 2 {
+				t.Errorf("trial %d: fanout %d after Canonicalize", trial, len(nd.Children))
+			}
+			if nd.Kind == Steiner && len(nd.Children) < 2 {
+				t.Errorf("trial %d: redundant steiner survived", trial)
+			}
+			return true
+		})
+		if got := len(tr.Sinks()); got != n {
+			t.Fatalf("trial %d: sink count %d, want %d", trial, got, n)
+		}
+	}
+}

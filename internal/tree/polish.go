@@ -1,0 +1,74 @@
+package tree
+
+import "sllt/internal/geom"
+
+// OptimizeSteinerLocations iteratively moves every Steiner node to the
+// component-wise median of its neighbors (parent and children), the L1
+// Fermat point that minimizes the total length of its incident edges. Edge
+// lengths are reset to Manhattan distances, so any snaking is discarded —
+// callers that need a skew bound must re-balance afterwards.
+//
+// Returns the number of nodes moved. Iterates until a fixed point or
+// maxIter sweeps.
+func OptimizeSteinerLocations(t *Tree, maxIter int) int {
+	if maxIter <= 0 {
+		maxIter = 32
+	}
+	total := 0
+	for iter := 0; iter < maxIter; iter++ {
+		moved := 0
+		t.Walk(func(n *Node) bool {
+			if n.Kind != Steiner || n.Parent == nil || len(n.Children) == 0 {
+				return true
+			}
+			xs := make([]float64, 0, len(n.Children)+1)
+			ys := make([]float64, 0, len(n.Children)+1)
+			xs = append(xs, n.Parent.Loc.X)
+			ys = append(ys, n.Parent.Loc.Y)
+			for _, c := range n.Children {
+				xs = append(xs, c.Loc.X)
+				ys = append(ys, c.Loc.Y)
+			}
+			best := geom.Pt(medianOf(xs), medianOf(ys))
+			if !best.Eq(n.Loc) {
+				// Accept only strict improvement to guarantee termination.
+				before := n.Parent.Loc.Dist(n.Loc)
+				after := n.Parent.Loc.Dist(best)
+				for _, c := range n.Children {
+					before += n.Loc.Dist(c.Loc)
+					after += best.Dist(c.Loc)
+				}
+				if after < before-geom.Eps {
+					n.Loc = best
+					moved++
+				}
+			}
+			return true
+		})
+		// Refresh all edge lengths to Manhattan distances after a sweep.
+		if moved > 0 {
+			t.Walk(func(n *Node) bool {
+				if n.Parent != nil {
+					n.EdgeLen = n.Parent.Loc.Dist(n.Loc)
+				}
+				return true
+			})
+		}
+		total += moved
+		if moved == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// medianOf returns the lower median of xs. xs is clobbered.
+func medianOf(xs []float64) float64 {
+	// Insertion sort: neighbor lists are tiny.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs[(len(xs)-1)/2]
+}

@@ -1,0 +1,154 @@
+package tree
+
+import (
+	"fmt"
+
+	"sllt/internal/geom"
+)
+
+// Topo is an abstract binary merging topology over the sinks of a Net: the
+// input of deferred-merge embedding. Leaves reference sink indices; internal
+// nodes carry no geometry — DME decides their embedding.
+type Topo struct {
+	Root *TopoNode
+}
+
+// TopoNode is one vertex of a merging topology. Leaves have SinkIdx >= 0 and
+// nil children; internal nodes have SinkIdx == -1 and exactly two children.
+type TopoNode struct {
+	Left, Right *TopoNode
+	SinkIdx     int
+}
+
+// TopoLeaf returns a leaf referencing sink i.
+func TopoLeaf(i int) *TopoNode { return &TopoNode{SinkIdx: i, Left: nil, Right: nil} }
+
+// TopoMerge returns an internal node over two subtrees.
+func TopoMerge(l, r *TopoNode) *TopoNode { return &TopoNode{Left: l, Right: r, SinkIdx: -1} }
+
+// IsLeaf reports whether n is a sink leaf.
+func (n *TopoNode) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Leaves returns the sink indices below n in left-to-right order.
+func (n *TopoNode) Leaves() []int {
+	var out []int
+	var rec func(*TopoNode)
+	rec = func(v *TopoNode) {
+		if v == nil {
+			return
+		}
+		if v.IsLeaf() {
+			out = append(out, v.SinkIdx)
+			return
+		}
+		rec(v.Left)
+		rec(v.Right)
+	}
+	rec(n)
+	return out
+}
+
+// Validate checks that the topology is a proper binary tree covering each of
+// the numSinks sink indices exactly once.
+func (t *Topo) Validate(numSinks int) error {
+	if t == nil || t.Root == nil {
+		return fmt.Errorf("topo: nil topology")
+	}
+	seen := make([]bool, numSinks)
+	var err error
+	var rec func(*TopoNode) bool
+	rec = func(n *TopoNode) bool {
+		if n.IsLeaf() {
+			if n.SinkIdx < 0 || n.SinkIdx >= numSinks {
+				err = fmt.Errorf("topo: leaf sink index %d out of range [0,%d)", n.SinkIdx, numSinks)
+				return false
+			}
+			if seen[n.SinkIdx] {
+				err = fmt.Errorf("topo: sink %d appears twice", n.SinkIdx)
+				return false
+			}
+			seen[n.SinkIdx] = true
+			return true
+		}
+		if n.Left == nil || n.Right == nil {
+			err = fmt.Errorf("topo: internal node with missing child")
+			return false
+		}
+		return rec(n.Left) && rec(n.Right)
+	}
+	if !rec(t.Root) {
+		return err
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("topo: sink %d missing", i)
+		}
+	}
+	return nil
+}
+
+// ExtractTopo derives a merging topology from an embedded clock tree: the
+// paper's Step 2 and Step 4. Steiner structure is flattened to the binary
+// merging order implied by the tree shape; sinks are identified by their
+// SinkIdx, which every topology builder in this repository sets.
+//
+// The tree need not be binary: multi-way branches are reduced with nearest-
+// pair grouping, mirroring Binarize.
+func ExtractTopo(t *Tree, numSinks int) (*Topo, error) {
+	var rec func(n *Node) []*topoCand
+	rec = func(n *Node) []*topoCand {
+		var cands []*topoCand
+		for _, c := range n.Children {
+			cands = append(cands, rec(c)...)
+		}
+		if n.Kind == Sink {
+			if n.SinkIdx < 0 {
+				return cands // stale sink without identity: ignore
+			}
+			return append(cands, &topoCand{node: TopoLeaf(n.SinkIdx), loc: n.Loc})
+		}
+		// Internal: merge this node's candidate list down to one subtree,
+		// pairing nearest candidates first.
+		if len(cands) == 0 {
+			return nil
+		}
+		for len(cands) > 1 {
+			i, j := closestCandPair(cands)
+			a, b := cands[i], cands[j]
+			cands = append(cands[:j], cands[j+1:]...)
+			cands[i] = &topoCand{
+				node: TopoMerge(a.node, b.node),
+				loc:  a.loc.Lerp(b.loc, 0.5),
+			}
+		}
+		return cands
+	}
+	cands := rec(t.Root)
+	if len(cands) != 1 {
+		return nil, fmt.Errorf("topo: extraction produced %d roots", len(cands))
+	}
+	topo := &Topo{Root: cands[0].node}
+	if err := topo.Validate(numSinks); err != nil {
+		return nil, err
+	}
+	return topo, nil
+}
+
+type topoCand struct {
+	node *TopoNode
+	loc  geom.Point
+}
+
+func closestCandPair(cands []*topoCand) (int, int) {
+	bi, bj := 0, 1
+	best := -1.0
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			d := cands[i].loc.Dist(cands[j].loc)
+			if best < 0 || d < best {
+				best, bi, bj = d, i, j
+			}
+		}
+	}
+	return bi, bj
+}

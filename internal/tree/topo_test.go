@@ -1,0 +1,78 @@
+package tree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sllt/internal/geom"
+)
+
+func TestTopoValidate(t *testing.T) {
+	topo := &Topo{Root: TopoMerge(TopoLeaf(0), TopoMerge(TopoLeaf(1), TopoLeaf(2)))}
+	if err := topo.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(4); err == nil {
+		t.Error("missing sink not detected")
+	}
+	dup := &Topo{Root: TopoMerge(TopoLeaf(0), TopoLeaf(0))}
+	if err := dup.Validate(2); err == nil {
+		t.Error("duplicate sink not detected")
+	}
+	if err := (&Topo{}).Validate(1); err == nil {
+		t.Error("nil root not detected")
+	}
+}
+
+func TestTopoLeaves(t *testing.T) {
+	topo := TopoMerge(TopoMerge(TopoLeaf(2), TopoLeaf(0)), TopoLeaf(1))
+	got := topo.Leaves()
+	want := []int{2, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("leaves = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("leaves = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExtractTopoFromTree(t *testing.T) {
+	tr, net := chainTree()
+	topo, err := ExtractTopo(tr, len(net.Sinks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(len(net.Sinks)); err != nil {
+		t.Fatal(err)
+	}
+	leaves := topo.Root.Leaves()
+	sort.Ints(leaves)
+	if leaves[0] != 0 || leaves[1] != 1 {
+		t.Errorf("leaves = %v", leaves)
+	}
+}
+
+func TestExtractTopoMultiway(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		net := &Net{Source: geom.Pt(0, 0)}
+		tr := New(net.Source)
+		for i := 0; i < n; i++ {
+			net.Sinks = append(net.Sinks, PinSink{
+				Loc: geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			})
+			tr.Root.AddChild(net.SinkNode(i)) // n-way star
+		}
+		topo, err := ExtractTopo(tr, n)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := topo.Validate(n); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

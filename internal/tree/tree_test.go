@@ -1,0 +1,160 @@
+package tree
+
+import (
+	"testing"
+
+	"sllt/internal/geom"
+)
+
+// chainTree builds source(0,0) -> steiner(5,0) -> two sinks.
+func chainTree() (*Tree, *Net) {
+	net := &Net{
+		Name:   "t",
+		Source: geom.Pt(0, 0),
+		Sinks: []PinSink{
+			{Name: "a", Loc: geom.Pt(10, 0), Cap: 2},
+			{Name: "b", Loc: geom.Pt(5, 5), Cap: 3},
+		},
+	}
+	t := New(net.Source)
+	st := NewNode(Steiner, geom.Pt(5, 0))
+	t.Root.AddChild(st)
+	st.AddChild(net.SinkNode(0))
+	st.AddChild(net.SinkNode(1))
+	return t, net
+}
+
+func TestTreeBasics(t *testing.T) {
+	tr, _ := chainTree()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Wirelength(); got != 15 {
+		t.Errorf("WL = %g, want 15", got)
+	}
+	sinks := tr.Sinks()
+	if len(sinks) != 2 {
+		t.Fatalf("sinks = %d", len(sinks))
+	}
+	if pl := PathLength(sinks[0]); pl != 10 {
+		t.Errorf("PL(a) = %g, want 10", pl)
+	}
+	if pl := PathLength(sinks[1]); pl != 10 {
+		t.Errorf("PL(b) = %g, want 10", pl)
+	}
+	if d := tr.MaxDepth(); d != 2 {
+		t.Errorf("depth = %d, want 2", d)
+	}
+	if n := tr.CountKind(Steiner); n != 1 {
+		t.Errorf("steiner count = %d", n)
+	}
+}
+
+func TestTreeClone(t *testing.T) {
+	tr, _ := chainTree()
+	cp := tr.Clone()
+	if err := cp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the clone must not affect the original.
+	cp.Root.Children[0].Loc = geom.Pt(99, 99)
+	if tr.Root.Children[0].Loc.Eq(geom.Pt(99, 99)) {
+		t.Fatal("clone shares nodes with original")
+	}
+	if cp.Wirelength() != tr.Wirelength() {
+		t.Error("clone wirelength differs before mutation effects")
+	}
+}
+
+func TestValidateCatchesSinkWithChildren(t *testing.T) {
+	tr, net := chainTree()
+	sink := tr.Sinks()[0]
+	sink.AddChild(NewNode(Steiner, geom.Pt(12, 0)))
+	if err := tr.Validate(); err == nil {
+		t.Fatal("expected validation error for sink with children")
+	}
+	LegalizeSinkLeaves(tr)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after LegalizeSinkLeaves: %v", err)
+	}
+	_ = net
+}
+
+func TestValidateCatchesShortEdge(t *testing.T) {
+	tr, _ := chainTree()
+	tr.Root.Children[0].EdgeLen = 1 // Manhattan distance is 5
+	if err := tr.Validate(); err == nil {
+		t.Fatal("expected validation error for too-short edge")
+	}
+}
+
+func TestTotalLoad(t *testing.T) {
+	tr, _ := chainTree()
+	// pins 2+3 = 5 fF; wire 15 units * 0.2 fF/unit = 3 fF
+	if got := tr.TotalLoad(0.2); got != 8 {
+		t.Errorf("TotalLoad = %g, want 8", got)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	tr, _ := chainTree()
+	st := tr.Root.Children[0]
+	st.Detach()
+	if len(tr.Root.Children) != 0 {
+		t.Fatal("detach did not remove child")
+	}
+	if st.Parent != nil {
+		t.Fatal("detach left parent pointer")
+	}
+}
+
+func TestNetValidate(t *testing.T) {
+	n := &Net{Name: "n", Source: geom.Pt(0, 0)}
+	if err := n.Validate(); err == nil {
+		t.Error("empty net should fail validation")
+	}
+	n.Sinks = []PinSink{{Name: "a", Loc: geom.Pt(1, 1)}, {Name: "b", Loc: geom.Pt(1, 1)}}
+	if err := n.Validate(); err == nil {
+		t.Error("duplicate sink locations should fail validation")
+	}
+	n.Sinks[1].Loc = geom.Pt(2, 2)
+	if err := n.Validate(); err != nil {
+		t.Errorf("valid net rejected: %v", err)
+	}
+}
+
+func TestSplitEdge(t *testing.T) {
+	tr, _ := chainTree()
+	sink := tr.Sinks()[0] // at (10,0), parent steiner at (5,0), edge 5
+	st := SplitEdge(sink, 2)
+	if st == nil {
+		t.Fatal("SplitEdge returned nil")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.EdgeLen != 2 || sink.EdgeLen != 3 {
+		t.Errorf("edge lengths %g/%g, want 2/3", st.EdgeLen, sink.EdgeLen)
+	}
+	if !st.Loc.Eq(geom.Pt(7, 0)) {
+		t.Errorf("split point %v, want (7,0)", st.Loc)
+	}
+	// Path length to the sink is unchanged.
+	if pl := PathLength(sink); pl != 10 {
+		t.Errorf("PL after split = %g, want 10", pl)
+	}
+}
+
+func TestPointAlongL(t *testing.T) {
+	a, b := geom.Pt(0, 0), geom.Pt(4, 3)
+	if p := PointAlongL(a, b, 7, 2); !p.Eq(geom.Pt(2, 0)) {
+		t.Errorf("horizontal leg point = %v", p)
+	}
+	if p := PointAlongL(a, b, 7, 6); !p.Eq(geom.Pt(4, 2)) {
+		t.Errorf("vertical leg point = %v", p)
+	}
+	// Snaked edge: distance scales proportionally.
+	if p := PointAlongL(a, b, 14, 4); !p.Eq(geom.Pt(2, 0)) {
+		t.Errorf("snaked point = %v", p)
+	}
+}

@@ -1,0 +1,102 @@
+// Package viz renders clock trees as standalone SVG documents — the
+// repository's reproduction of the paper's Fig. 1 routing-topology gallery.
+// Wires are drawn as L-shaped (horizontal-then-vertical) routes; snaked
+// wire is annotated with a dashed overlay proportional to the detour.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"sllt/internal/geom"
+	"sllt/internal/tree"
+)
+
+// Style configures rendering.
+type Style struct {
+	Width    int // pixel width of the SVG canvas
+	WireCol  string
+	SinkCol  string
+	SrcCol   string
+	BufCol   string
+	SteinCol string
+	Title    string
+}
+
+// DefaultStyle returns a readable default.
+func DefaultStyle(title string) Style {
+	return Style{
+		Width:    480,
+		WireCol:  "#2563eb",
+		SinkCol:  "#dc2626",
+		SrcCol:   "#16a34a",
+		BufCol:   "#d97706",
+		SteinCol: "#6b7280",
+		Title:    title,
+	}
+}
+
+// SVG renders the tree.
+func SVG(t *tree.Tree, st Style) string {
+	if st.Width <= 0 {
+		st.Width = 480
+	}
+	bb := t.BBox()
+	if bb.Empty() {
+		bb = geom.Rect{XLo: 0, YLo: 0, XHi: 1, YHi: 1}
+	}
+	pad := 0.06 * (bb.W() + bb.H() + 1)
+	bb = geom.Rect{XLo: bb.XLo - pad, YLo: bb.YLo - pad, XHi: bb.XHi + pad, YHi: bb.YHi + pad}
+	w := float64(st.Width)
+	scale := w / bb.W()
+	h := bb.H() * scale
+	// SVG y grows downward; flip so the layout reads like a die plot.
+	tx := func(p geom.Point) (float64, float64) {
+		return (p.X - bb.XLo) * scale, h - (p.Y-bb.YLo)*scale
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %g %g">`+"\n",
+		st.Width, int(h)+24, w, h+24)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	if st.Title != "" {
+		fmt.Fprintf(&b, `<text x="6" y="%g" font-family="monospace" font-size="12">%s</text>`+"\n", h+16, st.Title)
+	}
+
+	r := 0.006 * w
+	if r < 2 {
+		r = 2
+	}
+	t.Walk(func(n *tree.Node) bool {
+		if n.Parent != nil {
+			x1, y1 := tx(n.Parent.Loc)
+			x2, y2 := tx(n.Loc)
+			// L route: horizontal first, then vertical.
+			fmt.Fprintf(&b, `<polyline points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="none" stroke="%s" stroke-width="1.3"/>`+"\n",
+				x1, y1, x2, y1, x2, y2, st.WireCol)
+			if md := n.Parent.Loc.Dist(n.Loc); n.EdgeLen > md+geom.Eps {
+				// Snaked wire: dashed marker at the child end, sized by the
+				// detour length.
+				extra := (n.EdgeLen - md) * scale / 2
+				fmt.Fprintf(&b, `<path d="M %.1f %.1f l %.1f 0 l 0 4 l %.1f 0" fill="none" stroke="%s" stroke-width="1" stroke-dasharray="3,2"/>`+"\n",
+					x2, y2, extra, -extra, st.WireCol)
+			}
+		}
+		x, y := tx(n.Loc)
+		switch n.Kind {
+		case tree.Source:
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x-1.5*r, y-1.5*r, 3*r, 3*r, st.SrcCol)
+		case tree.Sink:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, st.SinkCol)
+		case tree.Buffer:
+			fmt.Fprintf(&b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="%s"/>`+"\n",
+				x-r, y-r, x-r, y+r, x+r, y, st.BufCol)
+		default:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r*0.6, st.SteinCol)
+		}
+		return true
+	})
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"sllt/internal/geom"
+	"sllt/internal/tree"
+)
+
+func demoTree() *tree.Tree {
+	t := tree.New(geom.Pt(0, 0))
+	buf := tree.NewNode(tree.Buffer, geom.Pt(5, 0))
+	buf.BufCell = "CLKBUFX4"
+	t.Root.AddChild(buf)
+	st := tree.NewNode(tree.Steiner, geom.Pt(10, 0))
+	buf.AddChild(st)
+	a := tree.NewNode(tree.Sink, geom.Pt(15, 5))
+	a.SinkIdx = 0
+	st.AddChild(a)
+	b := tree.NewNode(tree.Sink, geom.Pt(15, -5))
+	b.SinkIdx = 1
+	st.AddChild(b)
+	b.EdgeLen = 20 // snaked
+	return t
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg := SVG(demoTree(), DefaultStyle("demo α=1.0"))
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", // wires
+		"<circle",   // sinks + steiner
+		"polygon",   // buffer marker
+		"<rect",     // source marker
+		"demo",      // title
+		"dasharray", // snake annotation
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One polyline per non-root node.
+	if got := strings.Count(svg, "<polyline"); got != 4 {
+		t.Errorf("polylines = %d, want 4", got)
+	}
+}
+
+func TestSVGDegenerate(t *testing.T) {
+	// Single-node tree must not panic or divide by zero.
+	tr := tree.New(geom.Pt(3, 3))
+	svg := SVG(tr, DefaultStyle(""))
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("degenerate SVG malformed")
+	}
+}
