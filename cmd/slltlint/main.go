@@ -1,0 +1,88 @@
+// Command slltlint is the repository's determinism lint suite: a
+// multichecker driving the custom analyzers in internal/analysis over the
+// module. It exists because the paper's comparisons are only meaningful if
+// CBS/DME/partitioning are bit-reproducible for a given seed, and that
+// property is too easy to regress silently — one `range` over a map or one
+// wall-clock seed away.
+//
+// Usage:
+//
+//	go run ./cmd/slltlint [-list] [patterns...]
+//
+// Patterns default to ./... and are resolved by the go tool. Exit status:
+// 0 clean, 1 findings, 2 load/internal failure. Suppress an individual
+// finding with a justified directive on or above the flagged line:
+//
+//	//slltlint:ignore maporder commutative reduction, order cannot leak
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sllt/internal/analysis"
+	"sllt/internal/analysis/floatcmp"
+	"sllt/internal/analysis/maporder"
+	"sllt/internal/analysis/seededrand"
+	"sllt/internal/analysis/wallclock"
+)
+
+var analyzers = []*analysis.Analyzer{
+	floatcmp.Analyzer,
+	maporder.Analyzer,
+	seededrand.Analyzer,
+	wallclock.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	verbose := flag.Bool("v", false, "print the packages as they are checked")
+	flag.Parse()
+
+	if *list {
+		for _, az := range analyzers {
+			fmt.Printf("%-12s %s\n", az.Name, az.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			failed = true
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", pkg.ImportPath, e)
+			}
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "checking %s (%d files)\n", pkg.ImportPath, len(pkg.Files))
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "slltlint: type errors; aborting")
+		os.Exit(2)
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "slltlint: %d finding(s) in %d package(s) checked\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

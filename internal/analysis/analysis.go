@@ -1,0 +1,134 @@
+// Package analysis is a self-contained static-analysis framework modeled on
+// golang.org/x/tools/go/analysis, built only on the standard library so the
+// repository stays dependency-free. It loads packages through the go tool
+// (`go list -export`), typechecks them from source against compiler export
+// data, and runs Analyzers over the typed syntax trees.
+//
+// The framework exists to machine-check the two properties every result in
+// this repository depends on: determinism (bit-identical trees for a given
+// seed) and structural validity. The concrete rules live in the analyzer
+// subpackages (maporder, floatcmp, seededrand, wallclock) and are driven by
+// cmd/slltlint.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis rule.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+
+	// Run applies the rule to one package, reporting findings through
+	// pass.Reportf. A non-nil error aborts the whole lint run (reserved
+	// for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one typechecked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is a single finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position // resolved from Pos at report time
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional path:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// PkgBase returns the last segment of the package's import path, the name
+// analyzers scope their rules by (e.g. "dme", "partition").
+func (p *Pass) PkgBase() string {
+	path := p.Pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// ImportedPkgOf resolves a selector expression's qualifier: if sel.X is an
+// identifier naming an imported package, the package's import path is
+// returned, otherwise "".
+func (p *Pass) ImportedPkgOf(sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// Preorder walks every node of every file in the pass in depth-first order.
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// IsFloat reports whether t's underlying type is a floating-point basic type.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// IsMap reports whether t's underlying type is a map.
+func IsMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

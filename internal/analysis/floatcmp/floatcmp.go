@@ -1,0 +1,59 @@
+// Package floatcmp flags `==` and `!=` between floating-point expressions
+// in the geometry and timing packages. DME coordinates, Elmore delays and
+// path lengths accumulate rounding error, so exact comparison silently
+// turns into branch nondeterminism across refactors (and across FMA
+// differences between architectures). The compliant idiom is the epsilon
+// helpers in internal/geom: geom.AlmostEqual(a, b) for equality and
+// geom.Sign(x) for three-way tests against zero.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+
+	"sllt/internal/analysis"
+)
+
+// GeometryPackages are the package basenames the rule applies to: code
+// computing with coordinates, wirelengths or delays.
+var GeometryPackages = map[string]bool{
+	"geom":   true,
+	"dme":    true,
+	"timing": true,
+	"tree":   true,
+	"cts":    true,
+}
+
+// Analyzer is the floatcmp rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= on floating-point operands in geometry/timing code; use geom.AlmostEqual or geom.Sign",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !GeometryPackages[pass.PkgBase()] {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return
+		}
+		xt, yt := pass.TypeOf(be.X), pass.TypeOf(be.Y)
+		if xt == nil || yt == nil {
+			return
+		}
+		if !analysis.IsFloat(xt) && !analysis.IsFloat(yt) {
+			return
+		}
+		helper := "geom.AlmostEqual"
+		if be.Op == token.NEQ {
+			helper = "!geom.AlmostEqual"
+		}
+		pass.Reportf(be.OpPos,
+			"exact float comparison (%s) on inexact quantities; use %s (or geom.Sign for zero tests)",
+			be.Op, helper)
+	})
+	return nil
+}

@@ -1,0 +1,15 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"sllt/internal/analysis"
+	"sllt/internal/analysis/floatcmp"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysis.RunTest(t, floatcmp.Analyzer,
+		"testdata/src/dme",    // positive: geometry-scope basename
+		"testdata/src/report", // negative: out-of-scope package
+	)
+}

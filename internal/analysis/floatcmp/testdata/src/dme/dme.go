@@ -1,0 +1,39 @@
+// Package dme is the positive floatcmp fixture: its basename puts it in
+// the geometry/timing scope.
+package dme
+
+type point struct{ X, Y float64 }
+
+// Flagged: exact equality between float64 expressions.
+func Collinear(a, b point) bool {
+	return a.X == b.X || a.Y == b.Y // want "exact float comparison" "exact float comparison"
+}
+
+// Flagged: inequality, and comparison against a literal.
+func NonZero(d float64) bool {
+	return d != 0 // want "exact float comparison"
+}
+
+// Flagged: float32 counts too.
+func SameWeight(a, b float32) bool {
+	return a == b // want "exact float comparison"
+}
+
+// Clean: integer comparisons are exact.
+func SameCount(a, b int) bool {
+	return a == b
+}
+
+// Clean: epsilon comparison is the prescribed idiom.
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6
+}
+
+// Clean: ordering comparisons are legitimate on floats.
+func Less(a, b float64) bool {
+	return a < b && almostEqual(b, b)
+}

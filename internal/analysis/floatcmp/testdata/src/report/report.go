@@ -1,0 +1,9 @@
+// Package report is the negative floatcmp fixture: outside the
+// geometry/timing scope, exact float comparison is not flagged (e.g.
+// checking a sentinel default).
+package report
+
+// Clean: package out of scope.
+func IsUnset(v float64) bool {
+	return v == 0
+}

@@ -1,0 +1,15 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"sllt/internal/analysis"
+	"sllt/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysis.RunTest(t, maporder.Analyzer,
+		"testdata/src/core",    // positive: algorithm-package basename
+		"testdata/src/mapfree", // negative: out-of-scope package
+	)
+}

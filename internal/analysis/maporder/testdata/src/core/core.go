@@ -1,0 +1,81 @@
+// Package core is a maporder fixture standing in for an algorithm package
+// (the rule matches on the package basename).
+package core
+
+import "sort"
+
+// Flagged: direct iteration over a map.
+func SumKeysBad(m map[int]float64) float64 {
+	var s float64
+	for k := range m { // want "range over map m"
+		s += float64(k)
+	}
+	return s
+}
+
+// Flagged: map-valued expression, not just identifiers.
+func SumFieldBad(c struct{ members map[int]bool }) int {
+	n := 0
+	for k, v := range c.members { // want "range over map c.members"
+		if v {
+			n += k
+		}
+	}
+	return n
+}
+
+// Flagged: a collection loop that does extra work leaks order through s.
+func CollectAndSumBad(m map[int]float64) ([]int, float64) {
+	var keys []int
+	var s float64
+	for k := range m { // want "range over map m"
+		keys = append(keys, k)
+		s += m[k]
+	}
+	return keys, s
+}
+
+// Clean: the sorted-key-slice idiom — a pure key-collection loop followed
+// by a sort is the prescribed rewrite and is recognized as compliant.
+func SumKeysGood(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// Clean: a keyless range cannot observe iteration order.
+func CountGood(m map[string]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Clean: order-insensitive value reduction, suppressed with a justification.
+func MaxGood(m map[string]float64) float64 {
+	var best float64
+	//slltlint:ignore maporder commutative max, order cannot leak into results
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Clean: ranging over slices is fine.
+func SumSlice(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+// Package mapfree is the negative maporder fixture: it is not one of the
+// algorithm packages, so even direct map iteration is allowed here.
+package mapfree
+
+// Clean despite the map range: package out of scope.
+func Keys(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Package seededrand enforces the repository's seed-flow convention in
+// library code (everything under internal/): all randomness must come from
+// an explicit *rand.Rand constructed from a seed parameter. Two patterns
+// are flagged:
+//
+//  1. calls to math/rand (or math/rand/v2) package-level functions, which
+//     draw from the global, possibly randomly-seeded source;
+//  2. seeding a source from the wall clock, i.e. time.Now anywhere inside
+//     the arguments of rand.NewSource / rand.New / rand.NewPCG.
+//
+// Either one makes a run irreproducible, which invalidates every seeded
+// comparison in the paper's tables.
+package seededrand
+
+import (
+	"go/ast"
+
+	"sllt/internal/analysis"
+)
+
+// Analyzer is the seededrand rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbids global math/rand state and wall-clock seeding in library code; randomness must flow from an explicit seed parameter",
+	Run:  run,
+}
+
+// globalFns are the math/rand and math/rand/v2 package-level functions that
+// consume the shared global source.
+var globalFns = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Uint": true, "UintN": true,
+	"Float32": true, "Float64": true,
+	"NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true, "N": true,
+}
+
+// sourceCtors are the constructors whose arguments must not involve the
+// wall clock.
+var sourceCtors = map[string]bool{
+	"NewSource": true, "New": true, "NewPCG": true,
+}
+
+func isRandPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// inLibrary reports whether the package is library code: anything under an
+// internal/ directory. Commands and examples may seed however they like.
+func inLibrary(path string) bool {
+	for i := 0; i+len("internal") <= len(path); i++ {
+		if path[i:i+len("internal")] == "internal" &&
+			(i == 0 || path[i-1] == '/') &&
+			(i+len("internal") == len(path) || path[i+len("internal")] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inLibrary(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !isRandPath(pass.ImportedPkgOf(sel)) {
+			return
+		}
+		if globalFns[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(),
+				"use of global math/rand state (rand.%s) in library code: thread a *rand.Rand built from an explicit seed parameter",
+				sel.Sel.Name)
+		}
+	})
+	// Wall-clock seeding: time.Now anywhere inside the arguments of a
+	// rand source constructor.
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isRandPath(pass.ImportedPkgOf(fn)) || !sourceCtors[fn.Sel.Name] {
+			return
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				// A nested source constructor (rand.New(rand.NewSource(...)))
+				// is reported on its own; don't double-report through it.
+				if inner, ok := m.(*ast.CallExpr); ok {
+					if f, ok := inner.Fun.(*ast.SelectorExpr); ok &&
+						isRandPath(pass.ImportedPkgOf(f)) && sourceCtors[f.Sel.Name] {
+						return false
+					}
+				}
+				s, ok := m.(*ast.SelectorExpr)
+				if ok && s.Sel.Name == "Now" && pass.ImportedPkgOf(s) == "time" {
+					pass.Reportf(s.Pos(),
+						"RNG seeded from the wall clock (rand.%s(time.Now()...)): seeds must be explicit parameters so runs are reproducible",
+						fn.Sel.Name)
+				}
+				return true
+			})
+		}
+	})
+	return nil
+}

@@ -1,0 +1,15 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"sllt/internal/analysis"
+	"sllt/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysis.RunTest(t, seededrand.Analyzer,
+		"testdata/src/jitter", // positive: global rand + wall-clock seed
+		"testdata/src/seeded", // negative: explicit seed flow
+	)
+}

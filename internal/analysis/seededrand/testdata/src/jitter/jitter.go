@@ -1,0 +1,23 @@
+// Package jitter is the positive seededrand fixture (it sits under
+// internal/, so the library-code rule applies).
+package jitter
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged: global source draws.
+func PickBad(n int) int {
+	return rand.Intn(n) // want "global math/rand state"
+}
+
+// Flagged: wall-clock seeding.
+func NewRNGBad() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}
+
+// Flagged: both hazards on one line — global Shuffle.
+func ShuffleBad(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand state"
+}

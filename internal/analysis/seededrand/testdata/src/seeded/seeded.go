@@ -1,0 +1,16 @@
+// Package seeded is the negative seededrand fixture: the compliant
+// seed-flow convention.
+package seeded
+
+import "math/rand"
+
+// Clean: RNG constructed from an explicit seed parameter.
+func Pick(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Clean: methods on an injected *rand.Rand.
+func Shuffle(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,41 @@
+// Package wallclock forbids time.Now inside the algorithm packages. Tree
+// construction must be a pure function of its inputs and seed; consulting
+// the wall clock mid-algorithm (for time-budgeted loops, timestamped
+// tie-breaking, or logging that feeds back into decisions) makes results
+// machine- and load-dependent. Timing instrumentation belongs to the
+// callers (cmd/, internal/bench), which are out of scope.
+package wallclock
+
+import (
+	"go/ast"
+
+	"sllt/internal/analysis"
+	"sllt/internal/analysis/maporder"
+)
+
+// Analyzer is the wallclock rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now in algorithm packages; construction must be a pure function of inputs and seed",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Same scope as maporder: the packages that build trees.
+	if !maporder.AlgorithmPackages[pass.PkgBase()] {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return
+		}
+		if pass.ImportedPkgOf(sel) != "time" {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"time.Now in algorithm package %q: tree construction must not observe the wall clock; measure time in the caller",
+			pass.PkgBase())
+	})
+	return nil
+}

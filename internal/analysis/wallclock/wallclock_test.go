@@ -1,0 +1,15 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"sllt/internal/analysis"
+	"sllt/internal/analysis/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	analysis.RunTest(t, wallclock.Analyzer,
+		"testdata/src/salt",  // positive: algorithm-package basename
+		"testdata/src/flows", // negative: instrumentation package
+	)
+}

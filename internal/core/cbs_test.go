@@ -7,6 +7,7 @@ import (
 
 	"sllt/internal/dme"
 	"sllt/internal/geom"
+	"sllt/internal/invariants"
 	"sllt/internal/rsmt"
 	"sllt/internal/salt"
 	"sllt/internal/tech"
@@ -51,11 +52,11 @@ func TestCBSSkewLegal(t *testing.T) {
 				if err != nil {
 					t.Fatalf("bound %g %v trial %d: %v", bound, method, trial, err)
 				}
-				if err := tr.Validate(); err != nil {
+				if err := invariants.CheckTree(tr); err != nil {
 					t.Fatalf("bound %g %v trial %d: %v", bound, method, trial, err)
 				}
-				if skew := pathSkew(tr); skew > bound+1e-6 {
-					t.Fatalf("bound %g %v trial %d: skew %g", bound, method, trial, skew)
+				if err := invariants.CheckSkew(tr, bound, 1e-6); err != nil {
+					t.Fatalf("bound %g %v trial %d: %v", bound, method, trial, err)
 				}
 				if got := len(tr.Sinks()); got != len(net.Sinks) {
 					t.Fatalf("bound %g %v trial %d: lost sinks (%d != %d)", bound, method, trial, got, len(net.Sinks))
@@ -181,7 +182,10 @@ func TestCBSElmoreModel(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if err := tr.Validate(); err != nil {
+		if err := invariants.CheckTree(tr); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := invariants.CheckLoad(tr, opts.DME.Tech.CPerUm); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 	}

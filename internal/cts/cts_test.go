@@ -5,6 +5,7 @@ import (
 
 	"sllt/internal/designgen"
 	"sllt/internal/dme"
+	"sllt/internal/invariants"
 )
 
 func TestRunSmallDesign(t *testing.T) {
@@ -16,7 +17,10 @@ func TestRunSmallDesign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := res.Tree.Validate(); err != nil {
+	if err := invariants.CheckTree(res.Tree); err != nil {
+		t.Fatal(err)
+	}
+	if err := invariants.CheckLoad(res.Tree, opts.Tech.CPerUm); err != nil {
 		t.Fatal(err)
 	}
 	// Every FF must appear exactly once.
@@ -124,7 +128,7 @@ func TestEngines(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if err := res.Tree.Validate(); err != nil {
+		if err := invariants.CheckTree(res.Tree); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if got := len(res.Tree.Sinks()); got != 120 {

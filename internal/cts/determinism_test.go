@@ -1,0 +1,45 @@
+package cts
+
+import (
+	"testing"
+
+	"sllt/internal/designgen"
+)
+
+// TestRunDeterministicDEF is the end-to-end determinism regression the
+// slltlint suite exists to protect: running the full hierarchical flow
+// twice with the same seed on a Table-4-class synthetic design must export
+// byte-identical DEF — not just matching aggregate report numbers, which
+// can agree while buffer placements or net decompositions silently differ.
+func TestRunDeterministicDEF(t *testing.T) {
+	// A scaled-down s38584-class design: same utilization and FF ratio,
+	// sized so two full runs stay fast in CI.
+	spec := designgen.Spec{Name: "s38584_cls", Insts: 900, FFs: 150, Util: 0.60}
+	d := designgen.Generate(spec, 7)
+	opts := DefaultOptions()
+	opts.SAIters = 60
+
+	run := func() string {
+		res, err := Run(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ExportDEF(d, res).WriteDEF()
+	}
+	a := run()
+	b := run()
+	if a != b {
+		// Locate the first divergence for a useful failure message.
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 60
+		if lo < 0 {
+			lo = 0
+		}
+		ha, hb := a[lo:min(i+60, len(a))], b[lo:min(i+60, len(b))]
+		t.Fatalf("same-seed runs export different DEF (lengths %d vs %d); first divergence at byte %d:\n run1: …%s…\n run2: …%s…",
+			len(a), len(b), i, ha, hb)
+	}
+}

@@ -103,7 +103,7 @@ func edgeRoute(n *tree.Node) lefdef.Route {
 	a, b := n.Parent.Loc, n.Loc
 	r := lefdef.Route{Layer: ClockLayer}
 	r.Points = append(r.Points, a)
-	if a.X != b.X && a.Y != b.Y {
+	if !geom.AlmostEqual(a.X, b.X) && !geom.AlmostEqual(a.Y, b.Y) {
 		r.Points = append(r.Points, geom.Pt(b.X, a.Y)) // the bend
 	}
 	if !pointsEqual(r.Points[len(r.Points)-1], b) {
@@ -118,7 +118,7 @@ func edgeRoute(n *tree.Node) lefdef.Route {
 			prev = r.Points[len(r.Points)-2]
 		}
 		var out geom.Point
-		if prev.X == last.X { // vertical approach: detour in x
+		if geom.AlmostEqual(prev.X, last.X) { // vertical approach: detour in x
 			out = geom.Pt(last.X+half, last.Y)
 		} else {
 			out = geom.Pt(last.X, last.Y+half)

@@ -75,9 +75,9 @@ const SegmentRegions = -1
 // regionGreed resolves the RegionGreed default.
 func (o Options) regionGreed() float64 {
 	switch {
-	case o.RegionGreed < 0:
+	case geom.Sign(o.RegionGreed) < 0:
 		return 0
-	case o.RegionGreed == 0 || o.RegionGreed > 1:
+	case geom.Sign(o.RegionGreed) == 0 || o.RegionGreed > 1:
 		return 1
 	default:
 		return o.RegionGreed

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sllt/internal/geom"
+	"sllt/internal/invariants"
 	"sllt/internal/tech"
 	"sllt/internal/tree"
 )
@@ -80,14 +81,14 @@ func TestZSTLinearZeroSkew(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v trial %d: %v", method, trial, err)
 			}
-			if err := tr.Validate(); err != nil {
+			if err := invariants.CheckTree(tr); err != nil {
 				t.Fatalf("%v trial %d: %v", method, trial, err)
 			}
 			if got := len(tr.Sinks()); got != len(net.Sinks) {
 				t.Fatalf("%v trial %d: %d sinks, want %d", method, trial, got, len(net.Sinks))
 			}
-			if skew := pathSkew(tr); skew > 1e-6 {
-				t.Fatalf("%v trial %d: ZST skew = %g", method, trial, skew)
+			if err := invariants.CheckSkew(tr, 0, 1e-6); err != nil {
+				t.Fatalf("%v trial %d: %v", method, trial, err)
 			}
 		}
 	}
@@ -103,8 +104,11 @@ func TestBSTLinearSkewBound(t *testing.T) {
 			if err != nil {
 				t.Fatalf("bound %g trial %d: %v", bound, trial, err)
 			}
-			if skew := pathSkew(tr); skew > bound+1e-6 {
-				t.Fatalf("bound %g trial %d: skew = %g", bound, trial, skew)
+			if err := invariants.CheckTree(tr); err != nil {
+				t.Fatalf("bound %g trial %d: %v", bound, trial, err)
+			}
+			if err := invariants.CheckSkew(tr, bound, 1e-6); err != nil {
+				t.Fatalf("bound %g trial %d: %v", bound, trial, err)
 			}
 		}
 	}
@@ -207,7 +211,7 @@ func TestSnakingKeepsValidEdges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Validate(); err != nil {
+	if err := invariants.CheckTree(tr); err != nil {
 		t.Fatal(err)
 	}
 	var tot [2]float64
@@ -382,7 +386,10 @@ func TestRegionsSaveWire(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := tr.Validate(); err != nil {
+		if err := invariants.CheckTree(tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := invariants.CheckLoad(tr, tc.CPerUm); err != nil {
 			t.Fatal(err)
 		}
 		if skew := elmoreSkew(tr, tc); skew > 10+1e-4 {

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"sllt/internal/geom"
+	"sllt/internal/invariants"
 	"sllt/internal/tech"
 	"sllt/internal/tree"
 )
@@ -47,13 +48,13 @@ func TestQuickBSTContract(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if err := tr.Validate(); err != nil {
+		if err := invariants.CheckTree(tr); err != nil {
 			return false
 		}
 		if len(tr.Sinks()) != len(net.Sinks) {
 			return false
 		}
-		return pathSkew(tr) <= bound+1e-6
+		return invariants.CheckSkew(tr, bound, 1e-6) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
@@ -73,7 +74,7 @@ func TestQuickElmoreRegionContract(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if err := tr.Validate(); err != nil {
+		if err := invariants.CheckTree(tr); err != nil {
 			return false
 		}
 		return elmoreSkew(tr, tc) <= bound+1e-4
@@ -103,7 +104,7 @@ func TestQuickRepairSkewContract(t *testing.T) {
 		if err := RepairSkew(tr, net, opts); err != nil {
 			return false
 		}
-		if err := tr.Validate(); err != nil {
+		if err := invariants.CheckTree(tr); err != nil {
 			return false
 		}
 		lo, hi := 1e18, -1e18

@@ -1,0 +1,25 @@
+package geom
+
+import "math"
+
+// AlmostEqual reports whether a and b are equal within Eps. It is the
+// epsilon-comparison helper the floatcmp lint rule prescribes wherever
+// geometry or timing code would otherwise compare floats exactly: merged
+// coordinates, path lengths and Elmore delays all carry rounding error, so
+// exact == on them is a branch-nondeterminism hazard.
+func AlmostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= Eps
+}
+
+// Sign returns the sign of x with Eps tolerance: -1 when x < -Eps, +1 when
+// x > Eps, and 0 when x is within Eps of zero. It replaces exact zero tests
+// (x == 0, x != 0) on inexact quantities.
+func Sign(x float64) int {
+	switch {
+	case x > Eps:
+		return 1
+	case x < -Eps:
+		return -1
+	}
+	return 0
+}

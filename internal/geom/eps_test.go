@@ -1,0 +1,50 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + Eps/2, true},
+		{1, 1 + 2*Eps, false},
+		{-3.5, -3.5 - Eps/4, true},
+		{0, 1, false},
+		// The motivating case: an accumulated rounding error below Eps.
+		{0.1 + 0.2, 0.3, true},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b); got != c.want {
+			t.Errorf("AlmostEqual(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if AlmostEqual(math.NaN(), math.NaN()) {
+		t.Error("NaN must not compare almost-equal")
+	}
+}
+
+func TestSign(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0},
+		{Eps / 2, 0},
+		{-Eps / 2, 0},
+		{2 * Eps, 1},
+		{-2 * Eps, -1},
+		{1e9, 1},
+		{-1e9, -1},
+	}
+	for _, c := range cases {
+		if got := Sign(c.x); got != c.want {
+			t.Errorf("Sign(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ func ConvexHull(pts []Point) []Point {
 	sorted := make([]Point, n)
 	copy(sorted, pts)
 	sort.Slice(sorted, func(i, j int) bool {
+		//slltlint:ignore floatcmp exact tie-break keeps the sort comparator transitive
 		if sorted[i].X != sorted[j].X {
 			return sorted[i].X < sorted[j].X
 		}

@@ -257,17 +257,17 @@ func (o Octagon) AnyPoint() Point {
 func nearestOnSegmentL1(a, b, p Point) Point {
 	dx, dy := b.X-a.X, b.Y-a.Y
 	cands := []float64{0, 1}
-	if dx != 0 {
+	if Sign(dx) != 0 {
 		cands = append(cands, (p.X-a.X)/dx) // |dx(t)| = 0
 	}
-	if dy != 0 {
+	if Sign(dy) != 0 {
 		cands = append(cands, (p.Y-a.Y)/dy) // |dy(t)| = 0
 	}
 	// |dx(t)| = |dy(t)| breakpoints.
-	if dx != dy {
+	if Sign(dx-dy) != 0 {
 		cands = append(cands, (p.X-a.X-(p.Y-a.Y))/(dx-dy))
 	}
-	if dx != -dy {
+	if Sign(dx+dy) != 0 {
 		cands = append(cands, (p.X-a.X+(p.Y-a.Y))/(dx+dy))
 	}
 	best := a

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sllt/internal/geom"
+	"sllt/internal/invariants"
 	"sllt/internal/liberty"
 	"sllt/internal/rsmt"
 	"sllt/internal/tech"
@@ -28,11 +29,14 @@ func grid16() *tree.Net {
 func TestHTreeGridZeroSkew(t *testing.T) {
 	net := grid16()
 	tr := Build(net)
-	if err := tr.Validate(); err != nil {
+	if err := invariants.CheckTree(tr); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(tr.Sinks()); got != 16 {
 		t.Fatalf("sinks = %d", got)
+	}
+	if err := invariants.CheckSkew(tr, 0, 1e-9); err != nil {
+		t.Fatal(err)
 	}
 	// On a symmetric grid the H-tree is perfectly balanced.
 	var lo, hi float64 = 1e18, -1
@@ -65,14 +69,14 @@ func TestHTreeRandomValid(t *testing.T) {
 			net.Sinks = append(net.Sinks, tree.PinSink{Loc: p, Cap: 1})
 		}
 		tr := Build(net)
-		if err := tr.Validate(); err != nil {
+		if err := invariants.CheckTree(tr); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		if got := len(tr.Sinks()); got != n {
 			t.Fatalf("trial %d: %d sinks, want %d", trial, got, n)
 		}
 		gh := BuildGH(net, DefaultFactors(n))
-		if err := gh.Validate(); err != nil {
+		if err := invariants.CheckTree(gh); err != nil {
 			t.Fatalf("trial %d GH: %v", trial, err)
 		}
 		if got := len(gh.Sinks()); got != n {
@@ -193,7 +197,7 @@ func TestOptimalFactorsBuildable(t *testing.T) {
 	}
 	factors := OptimalFactors(len(net.Sinks), 100, lib, tc)
 	gh := BuildGH(net, factors)
-	if err := gh.Validate(); err != nil {
+	if err := invariants.CheckTree(gh); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(gh.Sinks()); got != 48 {

@@ -1,0 +1,171 @@
+package invariants
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sllt/internal/geom"
+	"sllt/internal/tree"
+)
+
+// balancedTree builds a small well-formed tree: source at the origin, two
+// Steiner arms, four sinks at equal path length 20.
+func balancedTree() *tree.Tree {
+	t := tree.New(geom.Pt(0, 0))
+	left := tree.NewNode(tree.Steiner, geom.Pt(-10, 0))
+	right := tree.NewNode(tree.Steiner, geom.Pt(10, 0))
+	t.Root.AddChild(left)
+	t.Root.AddChild(right)
+	for i, p := range []geom.Point{
+		geom.Pt(-10, 10), geom.Pt(-10, -10), geom.Pt(10, 10), geom.Pt(10, -10),
+	} {
+		s := tree.NewNode(tree.Sink, p)
+		s.PinCap = 2
+		s.SinkIdx = i
+		if p.X < 0 {
+			left.AddChild(s)
+		} else {
+			right.AddChild(s)
+		}
+	}
+	return t
+}
+
+func wantErr(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected error containing %q, got nil", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+}
+
+func TestCheckTreeAcceptsWellFormed(t *testing.T) {
+	tr := balancedTree()
+	if err := CheckTree(tr); err != nil {
+		t.Fatalf("well-formed tree rejected: %v", err)
+	}
+	if err := CheckLoad(tr, 0.2); err != nil {
+		t.Fatalf("load check failed: %v", err)
+	}
+	if err := CheckSkew(tr, 0, geom.Eps); err != nil {
+		t.Fatalf("balanced tree has skew: %v", err)
+	}
+	if err := CheckGamma(tr, 1, geom.Eps); err != nil {
+		t.Fatalf("balanced tree has γ>1: %v", err)
+	}
+}
+
+func TestCheckTreeNil(t *testing.T) {
+	wantErr(t, CheckTree(nil), "nil tree")
+	wantErr(t, CheckTree(&tree.Tree{}), "nil tree")
+}
+
+func TestCheckTreeRootParent(t *testing.T) {
+	tr := balancedTree()
+	tr.Root.Parent = tr.Root.Children[0]
+	wantErr(t, CheckTree(tr), "root has a parent")
+}
+
+func TestCheckTreeCycle(t *testing.T) {
+	tr := balancedTree()
+	// Close a cycle: a leaf adopts the root as its child.
+	leaf := tr.Root.Children[0].Children[0]
+	leaf.Kind = tree.Steiner
+	leaf.Children = append(leaf.Children, tr.Root)
+	tr.Root.Parent = leaf
+	tr.Root.Parent = nil // keep the root check quiet; the cycle must still trip
+	wantErr(t, CheckTree(tr), "wrong parent")
+}
+
+func TestCheckTreeSharedNode(t *testing.T) {
+	tr := balancedTree()
+	shared := tr.Root.Children[0].Children[0]
+	// Graft the same node under the other arm as well.
+	tr.Root.Children[1].Children = append(tr.Root.Children[1].Children, shared)
+	wantErr(t, CheckTree(tr), "wrong parent")
+	// With the parent pointer "fixed" toward the second arm, the first arm
+	// now holds the asymmetric link.
+	wantErr(t, CheckTree(tr), "parent")
+}
+
+func TestCheckTreeParentChildSymmetry(t *testing.T) {
+	tr := balancedTree()
+	tr.Root.Children[0].Children[0].Parent = tr.Root
+	wantErr(t, CheckTree(tr), "wrong parent")
+}
+
+func TestCheckTreeSinkLeaf(t *testing.T) {
+	tr := balancedTree()
+	s := tr.Root.Children[0].Children[0]
+	s.Children = append(s.Children, tree.NewNode(tree.Steiner, s.Loc))
+	s.Children[0].Parent = s
+	wantErr(t, CheckTree(tr), "has 1 children")
+}
+
+func TestCheckTreeEdgeBelowManhattan(t *testing.T) {
+	tr := balancedTree()
+	tr.Root.Children[0].EdgeLen = 5 // Manhattan distance is 10
+	wantErr(t, CheckTree(tr), "below Manhattan")
+}
+
+func TestCheckTreeSnakedEdgeAllowed(t *testing.T) {
+	tr := balancedTree()
+	tr.Root.Children[0].EdgeLen = 17 // snaking beyond Manhattan is legal
+	if err := CheckTree(tr); err != nil {
+		t.Fatalf("snaked edge rejected: %v", err)
+	}
+}
+
+func TestCheckTreeBadScalars(t *testing.T) {
+	tr := balancedTree()
+	tr.Root.Children[0].EdgeLen = -1
+	wantErr(t, CheckTree(tr), "bad edge length")
+
+	tr = balancedTree()
+	tr.Root.Children[0].Children[0].PinCap = -3
+	wantErr(t, CheckTree(tr), "bad pin cap")
+
+	tr = balancedTree()
+	tr.Root.Children[1].Loc = geom.Pt(math.Inf(1), 2)
+	wantErr(t, CheckTree(tr), "non-finite location")
+}
+
+func TestCheckLoadMatchesTotalLoad(t *testing.T) {
+	tr := balancedTree()
+	if err := CheckLoad(tr, 0.12); err != nil {
+		t.Fatalf("CheckLoad: %v", err)
+	}
+	wantErr(t, CheckLoad(nil, 0.12), "nil tree")
+	wantErr(t, CheckLoad(tr, -1), "negative capPerUnit")
+}
+
+func TestCheckSkewBound(t *testing.T) {
+	tr := balancedTree()
+	// Lengthen one sink's edge: skew becomes 7.
+	tr.Root.Children[0].Children[0].EdgeLen += 7
+	if err := CheckSkew(tr, 7, geom.Eps); err != nil {
+		t.Fatalf("skew within bound rejected: %v", err)
+	}
+	wantErr(t, CheckSkew(tr, 6.5, geom.Eps), "skew")
+}
+
+func TestCheckSkewFewSinks(t *testing.T) {
+	tr := tree.New(geom.Pt(0, 0))
+	s := tree.NewNode(tree.Sink, geom.Pt(5, 5))
+	tr.Root.AddChild(s)
+	if err := CheckSkew(tr, 0, 0); err != nil {
+		t.Fatalf("single-sink tree must trivially pass: %v", err)
+	}
+}
+
+func TestCheckGammaBound(t *testing.T) {
+	tr := balancedTree()
+	tr.Root.Children[0].Children[0].EdgeLen += 20 // one path 40, rest 20: γ = 40/25
+	if err := CheckGamma(tr, 1.6, geom.Eps); err != nil {
+		t.Fatalf("γ within bound rejected: %v", err)
+	}
+	wantErr(t, CheckGamma(tr, 1.5, geom.Eps), "skewness")
+}

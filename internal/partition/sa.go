@@ -3,6 +3,7 @@ package partition
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"sllt/internal/geom"
 )
@@ -37,11 +38,37 @@ func DefaultSAOptions(seed int64) SAOptions {
 }
 
 // clusterState tracks incremental cluster statistics during annealing.
+//
+// Members are held as a sorted index slice, not a map: SA refinement walks
+// the membership when rebuilding bounding boxes, picking hull instances and
+// scanning for nearest nets, and map iteration order would make those walks
+// — and therefore the refined assignment — vary from run to run under the
+// same seed.
 type clusterState struct {
-	members map[int]bool
+	members []int // instance indices, sorted ascending
 	capSum  float64
 	bbox    geom.Rect
 	cx, cy  float64 // coordinate sums for the centroid
+}
+
+// insert adds i to the sorted member set (no-op if present).
+func (c *clusterState) insert(i int) {
+	pos := sort.SearchInts(c.members, i)
+	if pos < len(c.members) && c.members[pos] == i {
+		return
+	}
+	c.members = append(c.members, 0)
+	copy(c.members[pos+1:], c.members[pos:])
+	c.members[pos] = i
+}
+
+// remove deletes i from the sorted member set (no-op if absent).
+func (c *clusterState) remove(i int) {
+	pos := sort.SearchInts(c.members, i)
+	if pos >= len(c.members) || c.members[pos] != i {
+		return
+	}
+	c.members = append(c.members[:pos], c.members[pos+1:]...)
 }
 
 // saState is the annealing state over a whole partition.
@@ -57,7 +84,7 @@ func newSAState(pts []geom.Point, caps []float64, k int, assign []int, opt SAOpt
 	st := &saState{pts: pts, caps: caps, assign: append([]int(nil), assign...), opt: opt}
 	st.clusters = make([]*clusterState, k)
 	for j := range st.clusters {
-		st.clusters[j] = &clusterState{members: make(map[int]bool), bbox: geom.EmptyRect()}
+		st.clusters[j] = &clusterState{bbox: geom.EmptyRect()}
 	}
 	for i := range pts {
 		st.addTo(assign[i], i)
@@ -67,7 +94,7 @@ func newSAState(pts []geom.Point, caps []float64, k int, assign []int, opt SAOpt
 
 func (st *saState) addTo(j, i int) {
 	c := st.clusters[j]
-	c.members[i] = true
+	c.insert(i)
 	c.capSum += st.caps[i]
 	c.bbox = c.bbox.Grow(st.pts[i])
 	c.cx += st.pts[i].X
@@ -77,13 +104,13 @@ func (st *saState) addTo(j, i int) {
 
 func (st *saState) removeFrom(j, i int) {
 	c := st.clusters[j]
-	delete(c.members, i)
+	c.remove(i)
 	c.capSum -= st.caps[i]
 	c.cx -= st.pts[i].X
 	c.cy -= st.pts[i].Y
 	// bbox must be rebuilt after removal.
 	c.bbox = geom.EmptyRect()
-	for m := range c.members {
+	for _, m := range c.members {
 		c.bbox = c.bbox.Grow(st.pts[m])
 	}
 }
@@ -111,7 +138,7 @@ func (st *saState) netDelayProxy(j int) float64 {
 	}
 	ctr := geom.Pt(c.cx/float64(n), c.cy/float64(n))
 	var r float64
-	for m := range c.members {
+	for _, m := range c.members {
 		if d := st.pts[m].Dist(ctr); d > r {
 			r = d
 		}
@@ -262,18 +289,18 @@ func (st *saState) pickHullInstance(j int, rng *rand.Rand) int {
 	if len(c.members) <= 1 {
 		return -1
 	}
-	member := make([]int, 0, len(c.members))
-	locs := make([]geom.Point, 0, len(c.members))
-	for m := range c.members {
-		member = append(member, m)
-		locs = append(locs, st.pts[m])
+	locs := make([]geom.Point, len(c.members))
+	for idx, m := range c.members {
+		locs[idx] = st.pts[m]
 	}
 	hull := geom.ConvexHull(locs)
 	if len(hull) == 0 {
 		return -1
 	}
+	// c.members is sorted, so co-located members resolve to the lowest
+	// index — the same instance every run.
 	target := hull[rng.Intn(len(hull))]
-	for idx, m := range member {
+	for idx, m := range c.members {
 		if locs[idx].Eq(target) {
 			return m
 		}
@@ -289,7 +316,7 @@ func (st *saState) nearestOtherNet(i, from int) int {
 		if j == from || len(st.clusters[j].members) == 0 {
 			continue
 		}
-		for m := range st.clusters[j].members {
+		for _, m := range st.clusters[j].members {
 			if d := st.pts[i].Dist(st.pts[m]); d < bd {
 				best, bd = j, d
 			}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sllt/internal/geom"
+	"sllt/internal/invariants"
 	"sllt/internal/rsmt"
 	"sllt/internal/tree"
 )
@@ -30,7 +31,10 @@ func TestShallownessGuarantee(t *testing.T) {
 		for trial := 0; trial < 20; trial++ {
 			net := randomNet(rng, 3+rng.Intn(35), 150)
 			tr := Build(net, eps)
-			if err := tr.Validate(); err != nil {
+			if err := invariants.CheckTree(tr); err != nil {
+				t.Fatalf("eps=%g trial %d: %v", eps, trial, err)
+			}
+			if err := invariants.CheckLoad(tr, 0.12); err != nil {
 				t.Fatalf("eps=%g trial %d: %v", eps, trial, err)
 			}
 			for _, s := range tr.Sinks() {
@@ -93,7 +97,7 @@ func TestRelaxOnSnakedTree(t *testing.T) {
 	tr.Root.AddChild(b)
 	a.EdgeLen = 30 // heavily snaked
 	Relax(tr, 0)
-	if err := tr.Validate(); err != nil {
+	if err := invariants.CheckTree(tr); err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range tr.Sinks() {
@@ -145,7 +149,7 @@ func TestBuildAdversarialGeometry(t *testing.T) {
 	for i, net := range nets {
 		for _, eps := range []float64{0, 0.25} {
 			tr := Build(net, eps)
-			if err := tr.Validate(); err != nil {
+			if err := invariants.CheckTree(tr); err != nil {
 				t.Fatalf("net %d eps %g: %v", i, eps, err)
 			}
 			if got := len(tr.Sinks()); got != len(net.Sinks) {

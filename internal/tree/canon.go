@@ -165,7 +165,7 @@ func SplitEdge(n *Node, dist float64) *Node {
 // nominal L route.
 func PointAlongL(a, b geom.Point, edgeLen, d float64) geom.Point {
 	md := a.Dist(b)
-	if md == 0 {
+	if geom.Sign(md) == 0 {
 		return a
 	}
 	// Scale d onto the physical L path proportionally when wire is snaked.

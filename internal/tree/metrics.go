@@ -2,6 +2,8 @@ package tree
 
 import (
 	"math"
+
+	"sllt/internal/geom"
 )
 
 // Metrics aggregates the SLLT quality measures of a clock tree.
@@ -87,7 +89,7 @@ func Dispersion(net *Net) float64 {
 		}
 		n++
 	}
-	if n == 0 || sum == 0 {
+	if n == 0 || geom.Sign(sum) == 0 {
 		return 1
 	}
 	return max / (sum / float64(n))

@@ -1,0 +1,34 @@
+package viz
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestSVGGolden locks the exact SVG emitted for the demo tree. The renderer
+// feeds the paper's Fig. 1 gallery; byte-identical output across runs and
+// refactors is part of the repository's determinism contract. Regenerate
+// with `go test ./internal/viz -run Golden -update` and review the diff.
+func TestSVGGolden(t *testing.T) {
+	got := SVG(demoTree(), DefaultStyle("golden demo"))
+	path := filepath.Join("testdata", "demo_golden.svg")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("SVG output drifted from golden file %s;\nrerun with -update and review the diff\ngot %d bytes, want %d", path, len(got), len(want))
+	}
+}
