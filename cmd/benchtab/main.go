@@ -9,23 +9,51 @@
 //	benchtab -table 7                 # Table 7 (four ysyx designs, 3 flows)
 //	benchtab -table 7 -scale 0.25     # ysyx designs at quarter size (fast)
 //	benchtab -table all
+//	benchtab -table 6 -workers 8      # spread independent work over 8 cores
+//	benchtab -table smoke -workers 8  # print the flow's DEF digest (CI oracle)
+//	benchtab -table 2 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -workers parallelizes the independent units of each table (per-cluster
+// net builds inside a flow, per-cell net streams in Tables 2/3, the seven
+// builders of Table 1) without changing a single output byte; `-table
+// smoke` exists so CI can assert exactly that, by diffing the digest line
+// across worker counts.
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"sllt/internal/bench"
+	"sllt/internal/cts"
 	"sllt/internal/designgen"
 )
 
 func main() {
-	table := flag.String("table", "all", "table to regenerate: 1|2|3|6|7|all")
+	table := flag.String("table", "all", "table to regenerate: 1|2|3|6|7|smoke|all")
 	nets := flag.Int("nets", 400, "random nets per cell for tables 2/3 (paper: 10000)")
 	seed := flag.Int64("seed", 1, "seed")
 	scale := flag.Float64("scale", 1.0, "design size scale factor for tables 6/7")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for independent work (<=1 serial; capped at GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	run := func(name string, fn func() error) {
 		if *table != "all" && *table != name {
@@ -38,7 +66,7 @@ func main() {
 	}
 
 	run("1", func() error {
-		rows, err := bench.RunTable1(bench.Table1Net())
+		rows, err := bench.RunTable1(bench.Table1Net(), *workers)
 		if err != nil {
 			return err
 		}
@@ -49,6 +77,7 @@ func main() {
 		cfg := bench.DefaultT23Config()
 		cfg.Nets = *nets
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		cells, err := bench.RunTable2(cfg)
 		if err != nil {
 			return err
@@ -60,6 +89,7 @@ func main() {
 		cfg := bench.DefaultT23Config()
 		cfg.Nets = *nets
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		cells, err := bench.RunTable3(cfg)
 		if err != nil {
 			return err
@@ -69,16 +99,62 @@ func main() {
 	})
 	run("6", func() error {
 		specs := scaleAll(bench.Table6Specs(), *scale)
-		results := bench.RunFlows(specs, *seed)
+		results := bench.RunFlows(specs, *seed, *workers)
 		fmt.Println(bench.FormatFlowTable("Table 6: clock tree solutions on open designs", results))
 		return nil
 	})
 	run("7", func() error {
 		specs := scaleAll(bench.Table7Specs(), *scale)
-		results := bench.RunFlows(specs, *seed)
+		results := bench.RunFlows(specs, *seed, *workers)
 		fmt.Println(bench.FormatFlowTable("Table 7: clock tree solutions on ysyx designs", results))
 		return nil
 	})
+	// smoke is not part of "all": it is the parallel-determinism oracle. It
+	// synthesizes one Table-4-class design with the requested worker count
+	// and prints a digest of the exported DEF — nothing runtime-dependent —
+	// so `benchtab -table smoke -workers 1` and `-workers 8` must print the
+	// same line, byte for byte.
+	if *table == "smoke" {
+		if err := smoke(*seed, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: smoke: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(fmt.Errorf("memprofile: %w", err))
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(fmt.Errorf("memprofile: %w", err))
+		}
+	}
+}
+
+// smoke runs the paper's flow on a reduced s38584-class design and prints
+// the SHA-256 of the post-CTS DEF plus the headline metrics.
+func smoke(seed int64, workers int) error {
+	// The oracle must exercise real goroutine interleaving even on small CI
+	// boxes, where GOMAXPROCS would otherwise clamp the fan-out to 1.
+	if workers > runtime.GOMAXPROCS(0) {
+		runtime.GOMAXPROCS(workers)
+	}
+	spec := designgen.Spec{Name: "smoke", Insts: 1500, FFs: 300, Util: 0.60}
+	d := designgen.Generate(spec, seed)
+	opts := cts.DefaultOptions()
+	opts.SAIters = 200
+	opts.Workers = workers
+	res, err := cts.Run(d, opts)
+	if err != nil {
+		return err
+	}
+	def := cts.ExportDEF(d, res).WriteDEF()
+	fmt.Printf("smoke def_sha256=%x bytes=%d levels=%d buffers=%d skew_ps=%.3f\n",
+		sha256.Sum256([]byte(def)), len(def), res.Levels, res.Report.Buffers, res.Report.Skew)
+	return nil
 }
 
 func scaleAll(specs []designgen.Spec, f float64) []designgen.Spec {
@@ -87,4 +163,9 @@ func scaleAll(specs []designgen.Spec, f float64) []designgen.Spec {
 		out[i] = bench.ScaleSpec(s, f)
 	}
 	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
 }

@@ -4,7 +4,11 @@
 // Usage:
 //
 //	slltcts -lef design.lef -def design.def [-net clk] [-engine ours|commercial|openroad]
-//	        [-out cts.def] [-skew 80] [-fanout 32] [-cap 150]
+//	        [-out cts.def] [-skew 80] [-fanout 32] [-cap 150] [-workers N]
+//
+// -workers spreads the independent per-cluster net builds of each level
+// over N goroutines. The output DEF is byte-identical for every value —
+// parallelism here changes wall clock, never the tree.
 //
 // The engine names select the paper's flow ("ours", CBS-based) or one of
 // the two baseline proxies used in Tables 6/7.
@@ -14,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"sllt/internal/baseline"
@@ -32,6 +37,7 @@ func main() {
 	fanout := flag.Int("fanout", 32, "max fanout per clock net")
 	maxCap := flag.Float64("cap", 150, "max stage capacitance, fF")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for per-cluster builds (<=1 serial; output is identical for any value)")
 	flag.Parse()
 
 	if *lefPath == "" || *defPath == "" {
@@ -64,6 +70,7 @@ func main() {
 	opts.Cons.MaxFanout = *fanout
 	opts.Cons.MaxCap = *maxCap
 	opts.Seed = *seed
+	opts.Workers = *workers
 
 	fmt.Printf("slltcts: %s — %d instances, %d clock sinks, die %.0fx%.0f um\n",
 		d.Name, len(d.Insts), d.NumFFs(), d.Die.W(), d.Die.H())

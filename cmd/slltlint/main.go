@@ -25,6 +25,7 @@ import (
 	"sllt/internal/analysis/floatcmp"
 	"sllt/internal/analysis/maporder"
 	"sllt/internal/analysis/seededrand"
+	"sllt/internal/analysis/sharedstate"
 	"sllt/internal/analysis/wallclock"
 )
 
@@ -32,6 +33,7 @@ var analyzers = []*analysis.Analyzer{
 	floatcmp.Analyzer,
 	maporder.Analyzer,
 	seededrand.Analyzer,
+	sharedstate.Analyzer,
 	wallclock.Analyzer,
 }
 

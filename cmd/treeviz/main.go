@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"sllt/internal/bench"
@@ -36,7 +37,7 @@ func main() {
 		net = cfg.Random(rand.New(rand.NewSource(*seed)))
 	}
 
-	rows, err := bench.RunTable1(net)
+	rows, err := bench.RunTable1(net, runtime.GOMAXPROCS(0))
 	fatal(err)
 	fmt.Print(bench.FormatTable1(rows))
 

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"sllt/internal/bench"
 	"sllt/internal/design"
@@ -53,6 +54,6 @@ func main() {
 	fmt.Printf("design %s: %d instances, %d clock sinks, die %.0fx%.0f um\n\n",
 		d.Name, len(d.Insts), d.NumFFs(), d.Die.W(), d.Die.H())
 
-	results := bench.RunFlows([]designgen.Spec{spec}, *seed)
+	results := bench.RunFlows([]designgen.Spec{spec}, *seed, runtime.GOMAXPROCS(0))
 	fmt.Print(bench.FormatFlowTable("Flow comparison (Table 6 format)", results))
 }

@@ -11,6 +11,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"sllt/internal/bench"
@@ -19,7 +20,7 @@ import (
 
 func main() {
 	net := bench.Table1Net()
-	rows, err := bench.RunTable1(net)
+	rows, err := bench.RunTable1(net, runtime.GOMAXPROCS(0))
 	if err != nil {
 		log.Fatal(err)
 	}

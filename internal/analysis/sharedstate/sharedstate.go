@@ -1,0 +1,245 @@
+// Package sharedstate flags raw `go func` closures in the algorithm
+// packages whose bodies capture enclosing loop variables or write captured
+// state without index-partitioned access. Both shapes make results depend
+// on the goroutine schedule — exactly the nondeterminism internal/parallel
+// exists to prevent: its ForEach hands every task its own index, so writes
+// land in disjoint slice slots and reductions happen afterwards in index
+// order. A raw goroutine in core/dme/cts/... is therefore either a schedule
+// hazard or a ForEach rewrite waiting to happen; order-safe exceptions may
+// carry an `//slltlint:ignore sharedstate <reason>` directive.
+package sharedstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sllt/internal/analysis"
+	"sllt/internal/analysis/maporder"
+)
+
+// Analyzer is the sharedstate rule. It scopes to the same packages as
+// maporder: the ones whose outputs must be byte-reproducible per seed.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedstate",
+	Doc:  "flags go-statement closures in algorithm packages that capture loop variables or write captured state without index-partitioned access (use internal/parallel.ForEach)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !maporder.AlgorithmPackages[pass.PkgBase()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// loops maps each enclosing-loop variable object to its loop body,
+		// so a closure can be tested for "spawned inside that loop".
+		loops := map[types.Object]*ast.BlockStmt{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.RangeStmt:
+				addLoopVar(pass, loops, s.Key, s.Body)
+				addLoopVar(pass, loops, s.Value, s.Body)
+			case *ast.ForStmt:
+				if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, lhs := range init.Lhs {
+						addLoopVar(pass, loops, lhs, s.Body)
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+					checkClosure(pass, lit, loops)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func addLoopVar(pass *analysis.Pass, loops map[types.Object]*ast.BlockStmt, e ast.Expr, body *ast.BlockStmt) {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		loops[obj] = body
+	}
+}
+
+// checkClosure reports the two schedule hazards inside one `go func` body:
+// uses of enclosing loop variables, and writes to captured state that are
+// not partitioned by a goroutine-local index.
+func checkClosure(pass *analysis.Pass, lit *ast.FuncLit, loops map[types.Object]*ast.BlockStmt) {
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A nested go closure gets its own checkClosure visit from the
+			// file walk; re-checking it here would double-report.
+			if _, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				for _, a := range n.Call.Args {
+					ast.Inspect(a, func(m ast.Node) bool { return inspectLeaf(pass, lit, loops, reported, m) })
+				}
+				return false
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true // := declares closure-locals, no captured write
+			}
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, lit, lhs, reported)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, lit, n.X, reported)
+		}
+		return inspectLeaf(pass, lit, loops, reported, n)
+	})
+}
+
+// inspectLeaf handles the per-ident loop-variable check and always allows
+// descent; split out so the nested-go argument walk shares it.
+func inspectLeaf(pass *analysis.Pass, lit *ast.FuncLit, loops map[types.Object]*ast.BlockStmt, reported map[types.Object]bool, n ast.Node) bool {
+	id, ok := n.(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || reported[obj] {
+		return true
+	}
+	body, isLoopVar := loops[obj]
+	if !isLoopVar || !within(lit, body) || !capturedBy(obj, lit) {
+		return true
+	}
+	reported[obj] = true
+	pass.Reportf(id.Pos(),
+		"goroutine closure captures loop variable %q: results depend on the schedule; fan out with internal/parallel.ForEach instead",
+		id.Name)
+	return true
+}
+
+// checkWrite flags assignment targets that mutate state captured from the
+// enclosing function. The one permitted shape is the index-partitioned
+// write `captured[i] = ...` where i involves a variable local to the
+// closure and nothing captured — the contract parallel.ForEach tasks obey.
+func checkWrite(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr, reported map[types.Object]bool) {
+	for {
+		if p, ok := lhs.(*ast.ParenExpr); ok {
+			lhs = p.X
+			continue
+		}
+		break
+	}
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		if obj := capturedVar(pass, e, lit); obj != nil && !reported[obj] {
+			reported[obj] = true
+			pass.Reportf(e.Pos(),
+				"goroutine closure writes captured variable %q: racing writes are schedule-dependent; give each task its own slot via internal/parallel.ForEach",
+				e.Name)
+		}
+	case *ast.IndexExpr:
+		base := rootIdent(e.X)
+		if base == nil {
+			return
+		}
+		obj := capturedVar(pass, base, lit)
+		if obj == nil {
+			return
+		}
+		if indexPartitioned(pass, e.Index, lit) {
+			return
+		}
+		if !reported[obj] {
+			reported[obj] = true
+			pass.Reportf(e.Pos(),
+				"goroutine closure writes captured %q without a goroutine-local index: tasks must write disjoint slots (internal/parallel.ForEach gives each task its index)",
+				base.Name)
+		}
+	case *ast.SelectorExpr:
+		if base := rootIdent(e.X); base != nil {
+			if obj := capturedVar(pass, base, lit); obj != nil && !reported[obj] {
+				reported[obj] = true
+				pass.Reportf(e.Pos(),
+					"goroutine closure writes field %s of captured %q: shared mutation is schedule-dependent; restructure as index-partitioned results",
+					e.Sel.Name, base.Name)
+			}
+		}
+	case *ast.StarExpr:
+		if base := rootIdent(e.X); base != nil {
+			if obj := capturedVar(pass, base, lit); obj != nil && !reported[obj] {
+				reported[obj] = true
+				pass.Reportf(e.Pos(),
+					"goroutine closure writes through captured pointer %q: shared mutation is schedule-dependent; restructure as index-partitioned results",
+					base.Name)
+			}
+		}
+	}
+}
+
+// indexPartitioned reports whether an index expression partitions writes
+// across goroutines: it must involve at least one variable declared inside
+// the closure (the task's own index) and no captured variable (which would
+// be shared across goroutines, collapsing the partition).
+func indexPartitioned(pass *analysis.Pass, idx ast.Expr, lit *ast.FuncLit) bool {
+	local, shared := false, false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if capturedBy(obj, lit) {
+			shared = true
+		} else {
+			local = true
+		}
+		return true
+	})
+	return local && !shared
+}
+
+// rootIdent peels parens, selectors, stars and indexes down to the base
+// identifier of an assignment target, or nil for anything more exotic.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// capturedVar resolves id to a variable declared outside lit, or nil.
+func capturedVar(pass *analysis.Pass, id *ast.Ident, lit *ast.FuncLit) types.Object {
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !capturedBy(obj, lit) {
+		return nil
+	}
+	return obj
+}
+
+// capturedBy reports whether obj is declared outside lit (and therefore
+// shared with the spawning function and every sibling goroutine). Closure
+// parameters and locals have positions inside the literal.
+func capturedBy(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+}
+
+// within reports whether lit lies inside the given loop body.
+func within(lit *ast.FuncLit, body *ast.BlockStmt) bool {
+	return lit.Pos() >= body.Pos() && lit.End() <= body.End()
+}

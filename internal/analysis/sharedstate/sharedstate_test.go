@@ -1,0 +1,15 @@
+package sharedstate_test
+
+import (
+	"testing"
+
+	"sllt/internal/analysis"
+	"sllt/internal/analysis/sharedstate"
+)
+
+func TestSharedState(t *testing.T) {
+	analysis.RunTest(t, sharedstate.Analyzer,
+		"testdata/src/partition", // positive: algorithm-package basename
+		"testdata/src/sched",     // negative: out-of-scope package
+	)
+}

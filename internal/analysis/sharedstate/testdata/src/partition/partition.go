@@ -1,0 +1,89 @@
+// Fixture: the goroutine shapes sharedstate must flag inside an algorithm
+// package, plus the index-partitioned shapes it must accept.
+package partition
+
+import "sync"
+
+type stats struct{ total int }
+
+// fanOutBad is the canonical anti-pattern: raw goroutines capturing the
+// loop variables and racing on an accumulator.
+func fanOutBad(items []int) int {
+	sum := 0
+	done := make(chan struct{}, len(items))
+	for i, v := range items {
+		go func() {
+			_ = i    // want "captures loop variable \"i\""
+			sum += v // want "captures loop variable \"v\"" "writes captured variable \"sum\""
+			done <- struct{}{}
+		}()
+	}
+	for range items {
+		<-done
+	}
+	return sum
+}
+
+// forLoopVar covers the three-clause for loop's `:=` variables.
+func forLoopVar(out []int) {
+	var wg sync.WaitGroup
+	for j := 0; j < len(out); j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			k := j // want "captures loop variable \"j\""
+			_ = k
+		}()
+	}
+	wg.Wait()
+}
+
+// sharedSlots: writes into a captured slice must be partitioned by a
+// goroutine-local index; a captured or constant index is a shared slot.
+func sharedSlots(out []int, s *stats) {
+	idx := 0
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		out[idx] = 1 // want "writes captured \"out\" without a goroutine-local index"
+	}()
+	go func() {
+		defer wg.Done()
+		out[0] = 2 // want "writes captured \"out\" without a goroutine-local index"
+	}()
+	go func() {
+		defer wg.Done()
+		s.total = 3 // want "writes field total of captured \"s\""
+	}()
+	wg.Wait()
+}
+
+// pointerWrite: mutation through a captured pointer is shared state too.
+func pointerWrite(p *int) {
+	ch := make(chan struct{})
+	go func() {
+		*p = 7 // want "writes through captured pointer \"p\""
+		close(ch)
+	}()
+	<-ch
+}
+
+// partitionedOK is the compliant shape: every goroutine derives its own
+// index from its argument and writes only its own slot — what
+// internal/parallel.ForEach tasks do. Nothing here may be flagged.
+func partitionedOK(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for i := range items {
+		go func(i int) {
+			defer wg.Done()
+			local := i * 2
+			out[i] = local
+			out[i+0] = local
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

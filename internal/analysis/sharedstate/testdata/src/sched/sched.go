@@ -1,0 +1,19 @@
+// Fixture: an out-of-scope package. The same hazards as the positive
+// fixture, but "sched" is not an algorithm package, so sharedstate must
+// stay silent — infrastructure code is allowed plain goroutines.
+package sched
+
+func fanOut(items []int) int {
+	sum := 0
+	done := make(chan struct{}, len(items))
+	for _, v := range items {
+		go func() {
+			sum += v
+			done <- struct{}{}
+		}()
+	}
+	for range items {
+		<-done
+	}
+	return sum
+}

@@ -29,7 +29,7 @@ func TestRandomNetRespectsConfig(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
-	rows, err := RunTable1(Table1Net())
+	rows, err := RunTable1(Table1Net(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestTable3ShapeMatchesPaper(t *testing.T) {
 
 func TestRunFlowsSmall(t *testing.T) {
 	spec := ScaleSpec(Table6Specs()[0], 0.2) // s38584 at 20%
-	rs := RunFlows([]designgen.Spec{spec}, 1)
+	rs := RunFlows([]designgen.Spec{spec}, 1, 1)
 	if len(rs) != 3 {
 		t.Fatalf("results = %d", len(rs))
 	}

@@ -14,12 +14,20 @@ import (
 var FlowNames = []string{"Ours", "Com.", "OR."}
 
 // FlowOptions returns the three competing flows keyed by FlowNames entry.
-func FlowOptions() map[string]cts.Options {
-	return map[string]cts.Options{
+// workers is threaded into every flow's cts.Options so each synthesis
+// parallelizes its per-cluster builds; results are byte-identical for any
+// value (<= 1 serial).
+func FlowOptions(workers int) map[string]cts.Options {
+	flows := map[string]cts.Options{
 		"Ours": cts.DefaultOptions(),
 		"Com.": baseline.CommercialLike(),
 		"OR.":  baseline.OpenROADLike(),
 	}
+	for name, opts := range flows {
+		opts.Workers = workers
+		flows[name] = opts
+	}
+	return flows
 }
 
 // FlowResult is one (design, flow) cell group of Tables 6/7.
@@ -37,9 +45,12 @@ type FlowResult struct {
 }
 
 // RunFlows synthesizes every design with every flow. Designs are generated
-// from their Table 4 statistics with the given seed.
-func RunFlows(specs []designgen.Spec, seed int64) []FlowResult {
-	flows := FlowOptions()
+// from their Table 4 statistics with the given seed. The (design, flow)
+// cells run serially — their Runtime column is the wall clock the tables
+// compare, so they must not compete for cores — while each synthesis
+// spreads its own cluster builds over the given workers.
+func RunFlows(specs []designgen.Spec, seed int64, workers int) []FlowResult {
+	flows := FlowOptions(workers)
 	var out []FlowResult
 	for _, spec := range specs {
 		d := designgen.Generate(spec, seed)

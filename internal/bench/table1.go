@@ -8,6 +8,7 @@ import (
 	"sllt/internal/dme"
 	"sllt/internal/geom"
 	"sllt/internal/htree"
+	"sllt/internal/parallel"
 	"sllt/internal/rsmt"
 	"sllt/internal/salt"
 	"sllt/internal/tree"
@@ -47,47 +48,54 @@ func Table1Net() *tree.Net {
 // RunTable1 builds the net with each of the seven algorithms of Table 1 and
 // measures shallowness, lightness and skewness. The skew bound for the
 // bounded algorithms is 10 % of the net's half-perimeter, mirroring the
-// moderate regime of the paper's example.
-func RunTable1(net *tree.Net) ([]AlgoRow, error) {
+// moderate regime of the paper's example. The seven builders share nothing
+// but the immutable input net, so they fan out over workers with each
+// task writing only its own row; row order is fixed by the table, not by
+// completion order.
+func RunTable1(net *tree.Net, workers int) ([]AlgoRow, error) {
 	refWL := rsmt.WL(net)
 	bound := net.BBox().HalfPerimeter() * 0.10
 
-	var rows []AlgoRow
-	add := func(name string, t *tree.Tree, skewCtl bool) {
-		rows = append(rows, AlgoRow{
-			Name:        name,
+	builders := []struct {
+		name    string
+		skewCtl bool
+		build   func() (*tree.Tree, error)
+	}{
+		{"H-tree", true, func() (*tree.Tree, error) { return htree.Build(net), nil }},
+		{"GH-tree", true, func() (*tree.Tree, error) {
+			return htree.BuildGH(net, htree.DefaultFactors(len(net.Sinks))), nil
+		}},
+		{"ZST", true, func() (*tree.Tree, error) {
+			topo := dme.GenTopo(net, dme.GreedyDist, 0)
+			return dme.Build(net, topo, dme.ZST())
+		}},
+		{"BST", true, func() (*tree.Tree, error) {
+			btopo := dme.GenTopo(net, dme.GreedyDist, bound)
+			return dme.Build(net, btopo, dme.BST(bound))
+		}},
+		{"FLUTE*", false, func() (*tree.Tree, error) { return rsmt.Build(net), nil }},
+		{"R-SALT", false, func() (*tree.Tree, error) { return salt.Build(net, 0), nil }},
+		{"CBS", true, func() (*tree.Tree, error) { return core.Build(net, core.DefaultOptions(bound)) }},
+	}
+
+	rows := make([]AlgoRow, len(builders))
+	err := parallel.ForEach(workers, len(builders), func(i int) error {
+		b := builders[i]
+		t, err := b.build()
+		if err != nil {
+			return fmt.Errorf("table1 %s: %w", b.name, err)
+		}
+		rows[i] = AlgoRow{
+			Name:        b.name,
 			Metrics:     tree.Measure(t, net, refWL),
-			SkewControl: skewCtl,
+			SkewControl: b.skewCtl,
 			Tree:        t,
-		})
-	}
-
-	add("H-tree", htree.Build(net), true)
-	add("GH-tree", htree.BuildGH(net, htree.DefaultFactors(len(net.Sinks))), true)
-
-	topo := dme.GenTopo(net, dme.GreedyDist, 0)
-	zst, err := dme.Build(net, topo, dme.ZST())
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("table1 ZST: %w", err)
+		return nil, err
 	}
-	add("ZST", zst, true)
-
-	btopo := dme.GenTopo(net, dme.GreedyDist, bound)
-	bst, err := dme.Build(net, btopo, dme.BST(bound))
-	if err != nil {
-		return nil, fmt.Errorf("table1 BST: %w", err)
-	}
-	add("BST", bst, true)
-
-	add("FLUTE*", rsmt.Build(net), false)
-	add("R-SALT", salt.Build(net, 0), false)
-
-	cbsOpts := core.DefaultOptions(bound)
-	cbs, err := core.Build(net, cbsOpts)
-	if err != nil {
-		return nil, fmt.Errorf("table1 CBS: %w", err)
-	}
-	add("CBS", cbs, true)
 	return rows, nil
 }
 

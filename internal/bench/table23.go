@@ -7,6 +7,7 @@ import (
 
 	"sllt/internal/core"
 	"sllt/internal/dme"
+	"sllt/internal/parallel"
 	"sllt/internal/salt"
 	"sllt/internal/tech"
 	"sllt/internal/timing"
@@ -21,6 +22,10 @@ type T23Config struct {
 	Net     NetConfig
 	Tech    tech.Tech
 	SALTEps float64
+	// Workers fans the independent (method, bound) cells out over
+	// goroutines. Each cell owns a private RNG seeded from Seed alone, so
+	// cell results are identical for any Workers value; <= 1 runs serially.
+	Workers int
 }
 
 // DefaultT23Config returns the paper's parameters with a reduced default
@@ -55,29 +60,44 @@ func (c T2Cell) ReducePct() float64 {
 }
 
 // RunTable2 reproduces Table 2: wirelength comparison between R-SALT and
-// CBS across topology generators and skew bounds.
+// CBS across topology generators and skew bounds. The (method, bound)
+// cells are independent — each re-derives its net stream from cfg.Seed —
+// so they fan out over cfg.Workers, each task writing only its own cell.
 func RunTable2(cfg T23Config) ([]T2Cell, error) {
-	var out []T2Cell
+	type cellSpec struct {
+		method dme.TopoMethod
+		bound  float64
+	}
+	var specs []cellSpec
 	for _, method := range cfg.Methods {
 		for _, bound := range cfg.Bounds {
-			rng := rand.New(rand.NewSource(cfg.Seed))
-			var sumS, sumC float64
-			for i := 0; i < cfg.Nets; i++ {
-				net := cfg.Net.Random(rng)
-				sumS += salt.Build(net, cfg.SALTEps).Wirelength()
-				cbs, err := core.Build(net, core.Options{
-					DME:        dme.Options{Model: dme.Elmore, SkewBound: bound, Tech: cfg.Tech},
-					TopoMethod: method,
-					SALTEps:    cfg.SALTEps,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("table2 %v/%gps net %d: %w", method, bound, i, err)
-				}
-				sumC += cbs.Wirelength()
-			}
-			n := float64(cfg.Nets)
-			out = append(out, T2Cell{Method: method, Bound: bound, RSALT: sumS / n, CBS: sumC / n})
+			specs = append(specs, cellSpec{method, bound})
 		}
+	}
+	out := make([]T2Cell, len(specs))
+	err := parallel.ForEach(cfg.Workers, len(specs), func(ci int) error {
+		method, bound := specs[ci].method, specs[ci].bound
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		var sumS, sumC float64
+		for i := 0; i < cfg.Nets; i++ {
+			net := cfg.Net.Random(rng)
+			sumS += salt.Build(net, cfg.SALTEps).Wirelength()
+			cbs, err := core.Build(net, core.Options{
+				DME:        dme.Options{Model: dme.Elmore, SkewBound: bound, Tech: cfg.Tech},
+				TopoMethod: method,
+				SALTEps:    cfg.SALTEps,
+			})
+			if err != nil {
+				return fmt.Errorf("table2 %v/%gps net %d: %w", method, bound, i, err)
+			}
+			sumC += cbs.Wirelength()
+		}
+		n := float64(cfg.Nets)
+		out[ci] = T2Cell{Method: method, Bound: bound, RSALT: sumS / n, CBS: sumC / n}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -128,10 +148,12 @@ type T3Cell struct {
 
 // RunTable3 reproduces Table 3: BST-DME vs CBS under the Greedy-Dist
 // topology. Load capacitance is Σ pin caps + c·WL; wire delay is the
-// maximum unbuffered Elmore sink delay.
+// maximum unbuffered Elmore sink delay. Like Table 2, the per-bound cells
+// re-derive their net streams from cfg.Seed and fan out over cfg.Workers.
 func RunTable3(cfg T23Config) ([]T3Cell, error) {
-	var out []T3Cell
-	for _, bound := range cfg.Bounds {
+	out := make([]T3Cell, len(cfg.Bounds))
+	err := parallel.ForEach(cfg.Workers, len(cfg.Bounds), func(ci int) error {
+		bound := cfg.Bounds[ci]
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		var cell T3Cell
 		cell.Bound = bound
@@ -142,13 +164,13 @@ func RunTable3(cfg T23Config) ([]T3Cell, error) {
 			topo := dme.GenTopo(net, dme.GreedyDist, dopts.LengthBudget(net))
 			bst, err := dme.Build(net, topo, dopts)
 			if err != nil {
-				return nil, fmt.Errorf("table3 BST %gps net %d: %w", bound, i, err)
+				return fmt.Errorf("table3 BST %gps net %d: %w", bound, i, err)
 			}
 			cbs, err := core.Build(net, core.Options{
 				DME: dopts, TopoMethod: dme.GreedyDist, SALTEps: cfg.SALTEps,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("table3 CBS %gps net %d: %w", bound, i, err)
+				return fmt.Errorf("table3 CBS %gps net %d: %w", bound, i, err)
 			}
 			cell.BSTWL += bst.Wirelength()
 			cell.CBSWL += cbs.Wirelength()
@@ -166,7 +188,11 @@ func RunTable3(cfg T23Config) ([]T3Cell, error) {
 		cell.CBSCap /= n
 		cell.BSTDelay /= n
 		cell.CBSDelay /= n
-		out = append(out, cell)
+		out[ci] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -14,6 +14,16 @@ import (
 )
 
 // Inserter drives buffer insertion over clock trees.
+//
+// Concurrency contract: every exported field is configuration, set once at
+// construction and read-only afterwards — no method mutates the Inserter,
+// and the Library and Tech it points to are likewise immutable after they
+// are built. One Inserter is therefore safe to share across goroutines
+// building disjoint trees, which is exactly what cts.Run does when
+// Options.Workers fans the per-cluster builds out. Anyone adding a field
+// here must keep it either immutable after construction or per-call local;
+// TestInserterSharedAcrossGoroutines enforces the contract under the race
+// detector.
 type Inserter struct {
 	Lib  *liberty.Library
 	Tech tech.Tech

@@ -18,6 +18,7 @@ import (
 	"sllt/internal/dme"
 	"sllt/internal/geom"
 	"sllt/internal/liberty"
+	"sllt/internal/parallel"
 	"sllt/internal/partition"
 	"sllt/internal/tech"
 	"sllt/internal/timing"
@@ -106,6 +107,13 @@ type Options struct {
 	// best silhouette score (sampled on large levels) — the quality knob
 	// heavyweight flows pay runtime for.
 	KMeansRestarts int
+	// Workers bounds the goroutines used for the per-cluster net builds,
+	// the k-means passes and the clustering restarts. Values <= 1 run
+	// serially; values above GOMAXPROCS are capped to it. Results are
+	// byte-identical for every value (see internal/parallel): each level's
+	// clusters are independent, and all randomness derives its seed from
+	// the task index, never a shared stream.
+	Workers int
 }
 
 // DefaultOptions returns the paper's configuration: CBS topology engine,
@@ -252,26 +260,49 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 		assign = partition.RefineSA(pts, caps, k, assign, sa)
 	}
 
+	// Bucket members per cluster with exact capacities (one counting pass),
+	// then carve each cluster's node slice out of a single shared backing
+	// array — the hot-path allocation pattern BenchmarkBuildLevelAllocs
+	// guards.
+	counts := make([]int, k)
+	for _, a := range assign {
+		counts[a]++
+	}
 	members := make([][]int, k)
+	for j, c := range counts {
+		if c > 0 {
+			members[j] = make([]int, 0, c)
+		}
+	}
 	for i, a := range assign {
 		members[a] = append(members[a], i)
 	}
-
-	var next []clockNode
-	used := 0
+	backing := make([]clockNode, len(nodes))
+	clusters := make([][]clockNode, 0, k)
+	off := 0
 	for _, mem := range members {
 		if len(mem) == 0 {
 			continue
 		}
-		used++
-		cluster := make([]clockNode, len(mem))
-		for i, m := range mem {
-			cluster[i] = nodes[m]
+		cluster := backing[off : off : off+len(mem)]
+		off += len(mem)
+		for _, m := range mem {
+			cluster = append(cluster, nodes[m])
 		}
+		clusters = append(clusters, cluster)
+	}
+
+	// The clusters are independent nets: each build touches only its own
+	// members' subtrees, the Inserter is read-only (see buffering.Inserter),
+	// and nothing in the build consumes shared randomness — so the loop fans
+	// out, with each task writing only next[ci].
+	next := make([]clockNode, len(clusters))
+	err := parallel.ForEach(opts.Workers, len(clusters), func(ci int) error {
+		cluster := clusters[ci]
 		src := centroidOf(cluster)
 		sub, err := buildNet(src, cluster, opts, ins, levelBound, false)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
 		// The cluster tree is rooted at a Source node at the centroid whose
 		// only child is the driver buffer; the driver is the next level's
@@ -280,42 +311,65 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 		driver.Detach()
 		est, err := estimateLatency(driver, opts)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
-		next = append(next, clockNode{
+		next[ci] = clockNode{
 			loc:   driver.Loc,
 			cap:   driver.PinCap,
 			delay: est,
 			sub:   driver,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
-	return next, used, nil
+	return next, len(clusters), nil
 }
 
 // bestClustering runs k-means once, or — when KMeansRestarts asks for it —
 // several times with different seeds, scoring each run by silhouette
 // (subsampled on large levels to keep the O(n²) score tractable) and
-// keeping the best.
+// keeping the best. Restarts are independent — restart r's seed is derived
+// from its index (base + r·1009), never from a shared stream — so they fan
+// out across workers, each task writing only its own slot; the best-score
+// reduction then runs serially in restart order so ties keep the earliest
+// restart, exactly like the serial loop.
 func bestClustering(pts []geom.Point, k int, opts Options, level int) []geom.Point {
 	restarts := opts.KMeansRestarts
 	if restarts < 1 {
 		restarts = 1
 	}
 	base := opts.Seed + int64(level)
-	centers, assign := partition.KMeans(pts, k, 24, base)
 	if restarts == 1 {
+		centers, _ := partition.KMeansP(pts, k, 24, base, opts.Workers)
 		return centers
 	}
-	sample, sampleAssign := silhouetteSample(pts, assign, 2500)
-	best := partition.Silhouette(sample, sampleAssign, k)
-	for r := 1; r < restarts; r++ {
-		c, a := partition.KMeans(pts, k, 24, base+int64(r)*1009)
+	// Split the worker budget: the outer fan-out covers the restarts, the
+	// remainder parallelizes each restart's k-means and silhouette passes.
+	outer := parallel.Clamp(opts.Workers)
+	inner := outer / restarts
+	if inner < 1 {
+		inner = 1
+	}
+	type restartResult struct {
+		centers []geom.Point
+		score   float64
+	}
+	results := make([]restartResult, restarts)
+	parallel.ForEach(outer, restarts, func(r int) error {
+		c, a := partition.KMeansP(pts, k, 24, base+int64(r)*1009, inner)
 		s, sa := silhouetteSample(pts, a, 2500)
-		if score := partition.Silhouette(s, sa, k); score > best {
-			best, centers = score, c
+		results[r] = restartResult{c, partition.SilhouetteP(s, sa, k, inner)}
+		return nil
+	})
+	best := results[0]
+	for r := 1; r < restarts; r++ {
+		if results[r].score > best.score {
+			best = results[r]
 		}
 	}
-	return centers
+	return best.centers
 }
 
 // silhouetteSample deterministically subsamples points (stride sampling)
@@ -325,8 +379,9 @@ func silhouetteSample(pts []geom.Point, assign []int, max int) ([]geom.Point, []
 		return pts, assign
 	}
 	stride := (len(pts) + max - 1) / max
-	var sp []geom.Point
-	var sa []int
+	n := (len(pts) + stride - 1) / stride
+	sp := make([]geom.Point, 0, n)
+	sa := make([]int, 0, n)
 	for i := 0; i < len(pts); i += stride {
 		sp = append(sp, pts[i])
 		sa = append(sa, assign[i])

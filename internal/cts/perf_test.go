@@ -1,0 +1,60 @@
+package cts
+
+import (
+	"testing"
+
+	"sllt/internal/buffering"
+	"sllt/internal/designgen"
+	"sllt/internal/tree"
+)
+
+// benchNodes builds the level-0 clock nodes the way Run does, so the
+// benchmark exercises buildLevel exactly as the flow drives it.
+func benchNodes(b *testing.B, insts, ffs int) ([]clockNode, Options, *buffering.Inserter, float64) {
+	b.Helper()
+	spec := designgen.Spec{Name: "alloc", Insts: insts, FFs: ffs, Util: 0.62}
+	d := designgen.Generate(spec, 1)
+	flat := d.Net()
+	nodes := make([]clockNode, len(flat.Sinks))
+	for i, s := range flat.Sinks {
+		leaf := tree.NewNode(tree.Sink, s.Loc)
+		leaf.Name = s.Name
+		leaf.PinCap = s.Cap
+		leaf.SinkIdx = i
+		nodes[i] = clockNode{loc: s.Loc, cap: s.Cap, delay: 0, sub: leaf}
+	}
+	opts := DefaultOptions()
+	opts.UseSA = false // SA dominates allocations; the target here is buildLevel's own
+	ins := buffering.NewInserter(opts.Lib, opts.Tech, opts.Cons.MaxCap)
+	ins.Margin = opts.BufferMargin
+	bound := levelShare(opts.Cons.SkewBound, estLevels(len(nodes), opts.Cons.MaxFanout))
+	return nodes, opts, ins, bound
+}
+
+// BenchmarkBuildLevelAllocs guards the hot-path allocation work: member
+// buckets sized by a counting pass, cluster slices carved from one backing
+// array, and the preallocated silhouette sample. Regressions show up in
+// the allocs/op column.
+func BenchmarkBuildLevelAllocs(b *testing.B) {
+	nodes, opts, ins, bound := benchNodes(b, 2000, 480)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// buildLevel grafts the level-0 subtrees into the cluster trees, so
+		// each iteration needs fresh leaves; count only buildLevel itself.
+		b.StopTimer()
+		fresh := make([]clockNode, len(nodes))
+		copy(fresh, nodes)
+		for j := range fresh {
+			leaf := tree.NewNode(tree.Sink, nodes[j].loc)
+			leaf.Name = nodes[j].sub.Name
+			leaf.PinCap = nodes[j].cap
+			leaf.SinkIdx = j
+			fresh[j].sub = leaf
+		}
+		b.StartTimer()
+		if _, _, err := buildLevel(fresh, opts, ins, bound, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

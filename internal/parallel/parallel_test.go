@@ -1,0 +1,204 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachComputesAllIndices checks the basic contract: every index runs
+// exactly once and results land in their own slots.
+func TestForEachComputesAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 1000
+		out := make([]int, n)
+		var calls atomic.Int64
+		err := ForEach(workers, n, func(i int) error {
+			calls.Add(1)
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if calls.Load() != int64(n) {
+			t.Errorf("workers=%d: %d calls, want %d", workers, calls.Load(), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestForEachLowestIndexErrorWins is the error-selection contract: when
+// several tasks fail, the error of the lowest failing index is returned,
+// matching what the serial reference loop would have reported.
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	failAt := map[int]bool{3: true, 40: true, 90: true}
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 100, func(i int) error {
+			if failAt[i] {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Errorf("workers=%d: err = %v, want task 3 failed", workers, err)
+		}
+	}
+}
+
+// TestForEachPanicRecovery: a panicking task surfaces as a *PanicError with
+// its index and stack instead of crashing the run, and participates in
+// lowest-index-wins.
+func TestForEachPanicRecovery(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 50, func(i int) error {
+			if i == 17 {
+				panic("cluster 17 exploded")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 17 {
+			t.Errorf("workers=%d: panic index = %d, want 17", workers, pe.Index)
+		}
+		if pe.Value != "cluster 17 exploded" {
+			t.Errorf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "goroutine") {
+			t.Errorf("workers=%d: panic error carries no stack: %q", workers, pe.Error())
+		}
+	}
+}
+
+// TestForEachPanicBeatsLaterError: a panic at a lower index wins over a
+// plain error at a higher one.
+func TestForEachPanicBeatsLaterError(t *testing.T) {
+	err := ForEach(4, 20, func(i int) error {
+		switch i {
+		case 2:
+			panic("low")
+		case 15:
+			return errors.New("high")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 2 {
+		t.Fatalf("err = %v, want panic at index 2", err)
+	}
+}
+
+// TestForEachSerialFallback: Workers <= 0 (and 1) must run on the caller's
+// goroutine, in index order, stopping at the first error.
+func TestForEachSerialFallback(t *testing.T) {
+	for _, workers := range []int{-3, 0, 1} {
+		caller := goroutineID()
+		var order []int // safe: serial path shares the caller's goroutine
+		err := ForEach(workers, 10, func(i int) error {
+			if goroutineID() != caller {
+				t.Errorf("workers=%d: task %d ran off the caller goroutine", workers, i)
+			}
+			order = append(order, i)
+			if i == 6 {
+				return errors.New("stop")
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "stop" {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if len(order) != 7 {
+			t.Errorf("workers=%d: serial path ran %d tasks after error at 6, want 7", workers, len(order))
+		}
+		for i, v := range order {
+			if v != i {
+				t.Errorf("workers=%d: serial order[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestForEachOrderingInvariance is the determinism pillar: for any
+// GOMAXPROCS in 1..8 and any worker count, the per-index results are
+// byte-identical to the serial reference, including float accumulation
+// performed by the caller in index order after ForEach returns.
+func TestForEachOrderingInvariance(t *testing.T) {
+	const n = 4096
+	compute := func(workers int) (string, float64) {
+		vals := make([]float64, n)
+		ids := make([]string, n)
+		err := ForEach(workers, n, func(i int) error {
+			// A value whose float rounding would expose any reordering of
+			// the reduction below.
+			vals[i] = 1.0 / float64(3*i+1)
+			ids[i] = fmt.Sprintf("t%d:%.17g", i, vals[i])
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range vals { // index-order reduction
+			sum += v
+		}
+		return strings.Join(ids, ","), sum
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	refIDs, refSum := compute(1)
+	for procs := 1; procs <= 8; procs++ {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{1, 2, 3, 8} {
+			ids, sum := compute(workers)
+			if ids != refIDs {
+				t.Fatalf("GOMAXPROCS=%d workers=%d: per-index results differ from serial", procs, workers)
+			}
+			if sum != refSum {
+				t.Fatalf("GOMAXPROCS=%d workers=%d: reduction %.17g != serial %.17g", procs, workers, sum, refSum)
+			}
+		}
+	}
+}
+
+// TestClamp pins the Workers normalization rules.
+func TestClamp(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(4)
+	for _, tc := range []struct{ in, want int }{
+		{-1, 1}, {0, 1}, {1, 1}, {3, 3}, {4, 4}, {100, 4},
+	} {
+		if got := Clamp(tc.in); got != tc.want {
+			t.Errorf("Clamp(%d) = %d, want %d (GOMAXPROCS=4)", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestForEachEmpty: n <= 0 is a no-op.
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	if err := ForEach(8, 0, func(int) error { called = true; return nil }); err != nil || called {
+		t.Fatalf("n=0: err=%v called=%v", err, called)
+	}
+}
+
+// goroutineID extracts the current goroutine's id from the stack header;
+// good enough to assert "same goroutine" in tests.
+func goroutineID() string {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	s := string(buf)
+	if i := strings.Index(s, "["); i > 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -12,12 +12,31 @@ import (
 	"sort"
 
 	"sllt/internal/geom"
+	"sllt/internal/parallel"
 )
+
+// minParallelPoints gates the parallel k-means passes: below this the
+// per-level goroutine handoff costs more than the O(n·k) distance scan it
+// splits. The gate only affects wall clock, never results — the parallel
+// passes are byte-identical to the serial ones by construction.
+const minParallelPoints = 2048
 
 // KMeans runs Lloyd's algorithm with deterministic farthest-point seeding
 // and returns the cluster centers and per-point assignment. k is clamped to
 // [1, len(pts)].
 func KMeans(pts []geom.Point, k, iters int, seed int64) ([]geom.Point, []int) {
+	return KMeansP(pts, k, iters, seed, 1)
+}
+
+// KMeansP is KMeans with an indexed worker fan-out over the two O(n·k)
+// passes of each Lloyd iteration. Results are identical to KMeans for every
+// workers value: the assignment pass is per-point independent, and the
+// center-update pass accumulates each cluster's coordinate sums over its
+// members in ascending point order — the same float addition sequence the
+// serial accumulator performs — before a serial, ascending-j re-seeding
+// sweep for empty clusters (whose mid-sweep reads of mixed old/new centers
+// are part of the reference semantics).
+func KMeansP(pts []geom.Point, k, iters int, seed int64, workers int) ([]geom.Point, []int) {
 	n := len(pts)
 	if k < 1 {
 		k = 1
@@ -25,47 +44,105 @@ func KMeans(pts []geom.Point, k, iters int, seed int64) ([]geom.Point, []int) {
 	if k > n {
 		k = n
 	}
+	if n < minParallelPoints {
+		workers = 1
+	}
 	rng := rand.New(rand.NewSource(seed))
 	centers := seedCenters(pts, k, rng)
 	assign := make([]int, n)
+	members := make([][]int, k)
+	newCenters := make([]geom.Point, k)
 	for it := 0; it < iters; it++ {
-		changed := false
-		for i, p := range pts {
-			best, bd := 0, math.Inf(1)
-			for j, c := range centers {
-				if d := p.Dist(c); d < bd {
-					best, bd = j, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
+		changed := assignPoints(pts, centers, assign, workers)
+
+		// Bucket members per cluster, ascending point index (serial O(n)).
+		for j := range members {
+			members[j] = members[j][:0]
 		}
-		// Recompute centers; re-seed empty clusters at the point farthest
-		// from its center.
-		sx := make([]float64, k)
-		sy := make([]float64, k)
-		cnt := make([]int, k)
-		for i, p := range pts {
-			a := assign[i]
-			sx[a] += p.X
-			sy[a] += p.Y
-			cnt[a]++
+		for i, a := range assign {
+			members[a] = append(members[a], i)
 		}
+
+		// Center update: per-cluster sums over the member list reproduce the
+		// serial accumulator's addition order exactly, so the pass can fan
+		// out over clusters.
+		parallel.ForEach(workers, k, func(j int) error {
+			mem := members[j]
+			if len(mem) == 0 {
+				return nil
+			}
+			var sx, sy float64
+			for _, i := range mem {
+				sx += pts[i].X
+				sy += pts[i].Y
+			}
+			newCenters[j] = geom.Pt(sx/float64(len(mem)), sy/float64(len(mem)))
+			return nil
+		})
+
+		// Serial apply + empty-cluster re-seeding in ascending j: an empty
+		// cluster's farthest-point probe sees centers[0..j-1] updated and
+		// centers[j..] stale, exactly like the fused serial loop did.
 		for j := 0; j < k; j++ {
-			if cnt[j] == 0 {
+			if len(members[j]) == 0 {
 				centers[j] = farthestPoint(pts, assign, centers)
 				changed = true
 				continue
 			}
-			centers[j] = geom.Pt(sx[j]/float64(cnt[j]), sy[j]/float64(cnt[j]))
+			centers[j] = newCenters[j]
 		}
 		if !changed {
 			break
 		}
 	}
 	return centers, assign
+}
+
+// assignPoints writes each point's nearest-center index into assign and
+// reports whether any assignment changed. Each point's answer is
+// independent of every other's, so the pass partitions into contiguous
+// chunks; per-chunk change flags are OR-reduced after the fan-out.
+func assignPoints(pts []geom.Point, centers []geom.Point, assign []int, workers int) bool {
+	n := len(pts)
+	workers = parallel.Clamp(workers)
+	if workers == 1 {
+		return assignRange(pts, centers, assign, 0, n)
+	}
+	chunks := workers * 4
+	if chunks > n {
+		chunks = n
+	}
+	chg := make([]bool, chunks)
+	parallel.ForEach(workers, chunks, func(c int) error {
+		lo, hi := c*n/chunks, (c+1)*n/chunks
+		chg[c] = assignRange(pts, centers, assign, lo, hi)
+		return nil
+	})
+	for _, c := range chg {
+		if c {
+			return true
+		}
+	}
+	return false
+}
+
+// assignRange is the serial kernel of the assignment pass over pts[lo:hi].
+func assignRange(pts []geom.Point, centers []geom.Point, assign []int, lo, hi int) bool {
+	changed := false
+	for i := lo; i < hi; i++ {
+		p := pts[i]
+		best, bd := 0, math.Inf(1)
+		for j, c := range centers {
+			if d := p.Dist(c); d < bd {
+				best, bd = j, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed = true
+		}
+	}
+	return changed
 }
 
 // seedCenters picks k starting centers: the first at the centroid-nearest
@@ -112,49 +189,76 @@ func farthestPoint(pts []geom.Point, assign []int, centers []geom.Point) geom.Po
 // 1 indicate compact, well-separated clusters. O(n²); intended for the
 // cluster-count selection on moderate instance counts.
 func Silhouette(pts []geom.Point, assign []int, k int) float64 {
+	return SilhouetteP(pts, assign, k, 1)
+}
+
+// SilhouetteP is Silhouette with the O(n²) per-point scoring fanned out
+// over workers. Each point's coefficient is an independent function of the
+// whole point set, so tasks write only their own slot; the mean is then
+// reduced serially in point order, giving the exact float result of the
+// serial loop for every workers value.
+func SilhouetteP(pts []geom.Point, assign []int, k, workers int) float64 {
 	n := len(pts)
 	if n == 0 || k < 2 {
 		return 0
 	}
+	const unscored = math.MaxFloat64 // sentinel: point contributes nothing
+	scores := make([]float64, n)
+	parallel.ForEach(workers, n, func(i int) error {
+		scores[i] = silhouetteOf(pts, assign, k, i)
+		return nil
+	})
 	var total float64
 	counted := 0
-	for i, p := range pts {
-		sum := make([]float64, k)
-		cnt := make([]int, k)
-		for j, q := range pts {
-			if i == j {
-				continue
-			}
-			sum[assign[j]] += p.Dist(q)
-			cnt[assign[j]]++
-		}
-		own := assign[i]
-		if cnt[own] == 0 {
-			continue // singleton cluster: silhouette undefined, skip
-		}
-		a := sum[own] / float64(cnt[own])
-		b := math.Inf(1)
-		for j := 0; j < k; j++ {
-			if j == own || cnt[j] == 0 {
-				continue
-			}
-			if m := sum[j] / float64(cnt[j]); m < b {
-				b = m
-			}
-		}
-		if math.IsInf(b, 1) {
+	for _, s := range scores {
+		if s == unscored {
 			continue
 		}
-		den := math.Max(a, b)
-		if den > 0 {
-			total += (b - a) / den
-			counted++
-		}
+		total += s
+		counted++
 	}
 	if counted == 0 {
 		return 0
 	}
 	return total / float64(counted)
+}
+
+// silhouetteOf computes point i's silhouette coefficient, or the unscored
+// sentinel when it is undefined (singleton cluster, no other cluster, or a
+// degenerate zero denominator).
+func silhouetteOf(pts []geom.Point, assign []int, k, i int) float64 {
+	p := pts[i]
+	sum := make([]float64, k)
+	cnt := make([]int, k)
+	for j, q := range pts {
+		if i == j {
+			continue
+		}
+		sum[assign[j]] += p.Dist(q)
+		cnt[assign[j]]++
+	}
+	own := assign[i]
+	if cnt[own] == 0 {
+		return math.MaxFloat64 // singleton cluster: silhouette undefined, skip
+	}
+	a := sum[own] / float64(cnt[own])
+	b := math.Inf(1)
+	for j := 0; j < k; j++ {
+		if j == own || cnt[j] == 0 {
+			continue
+		}
+		if m := sum[j] / float64(cnt[j]); m < b {
+			b = m
+		}
+	}
+	if math.IsInf(b, 1) {
+		return math.MaxFloat64
+	}
+	den := math.Max(a, b)
+	if den <= 0 {
+		return math.MaxFloat64
+	}
+	return (b - a) / den
 }
 
 // BalancedAssign produces an assignment of points to the given centers in
