@@ -1,22 +1,38 @@
-// Command slltlint is the repository's determinism lint suite: a
+// Command slltlint is the repository's static-analysis suite: a
 // multichecker driving the custom analyzers in internal/analysis over the
 // module. It exists because the paper's comparisons are only meaningful if
-// CBS/DME/partitioning are bit-reproducible for a given seed, and that
-// property is too easy to regress silently — one `range` over a map or one
-// wall-clock seed away.
+// CBS/DME/partitioning are bit-reproducible for a given seed and the unit
+// system (µm, fF, kΩ, ps) is used coherently — both properties are too easy
+// to regress silently: one `range` over a map, one wall-clock seed, one
+// wirelength added to a latency.
 //
 // Usage:
 //
-//	go run ./cmd/slltlint [-list] [patterns...]
+//	go run ./cmd/slltlint [flags] [patterns...]
 //
-// Patterns default to ./... and are resolved by the go tool. Exit status:
-// 0 clean, 1 findings, 2 load/internal failure. Suppress an individual
-// finding with a justified directive on or above the flagged line:
+// Patterns default to ./... and are resolved by the go tool.
+//
+// Exit status:
+//
+//	0  no findings (after baseline filtering)
+//	1  findings
+//	2  package load failure, type errors, or internal error
+//
+// Output defaults to one line per finding; -json emits a machine-readable
+// array, -sarif a SARIF 2.1.0 log for code-scanning upload, -fix a dry-run
+// diff of every suggested fix (nothing is written back).
+//
+// A committed baseline (-baseline, default .slltlint-baseline.json) lists
+// accepted findings so only regressions gate; regenerate it after triage
+// with -write-baseline. Suppress an individual finding with a justified
+// directive on or above the flagged line, in either form:
 //
 //	//slltlint:ignore maporder commutative reduction, order cannot leak
+//	//lint:ignore unitflow DBU conversion site, checked by hand
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +42,7 @@ import (
 	"sllt/internal/analysis/maporder"
 	"sllt/internal/analysis/seededrand"
 	"sllt/internal/analysis/sharedstate"
+	"sllt/internal/analysis/unitflow"
 	"sllt/internal/analysis/wallclock"
 )
 
@@ -34,19 +51,49 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	seededrand.Analyzer,
 	sharedstate.Analyzer,
+	unitflow.Analyzer,
 	wallclock.Analyzer,
 }
 
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		`usage: slltlint [flags] [patterns...]
+
+Runs the repository's custom analyzers (determinism suite + unitflow) over
+the packages matched by the patterns (default ./...).
+
+Exit status:
+  0  no findings (after baseline filtering)
+  1  findings
+  2  package load failure, type errors, or internal error
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	verbose := flag.Bool("v", false, "print the packages as they are checked")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	fixOut := flag.Bool("fix", false, "print a dry-run diff of every suggested fix (no files are modified)")
+	baselinePath := flag.String("baseline", ".slltlint-baseline.json",
+		"baseline file of accepted findings; only findings not in it gate (empty string disables)")
+	writeBaseline := flag.Bool("write-baseline", false,
+		"regenerate the baseline file from the current findings and exit")
+	flag.Usage = usage
 	flag.Parse()
 
 	if *list {
 		for _, az := range analyzers {
 			fmt.Printf("%-12s %s\n", az.Name, az.Doc)
 		}
-		return
+		return 0
 	}
 
 	patterns := flag.Args()
@@ -56,10 +103,14 @@ func main() {
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	failed := false
+	root := ""
 	for _, pkg := range pkgs {
+		if root == "" {
+			root = pkg.ModDir
+		}
 		if len(pkg.TypeErrors) > 0 {
 			failed = true
 			for _, e := range pkg.TypeErrors {
@@ -72,19 +123,92 @@ func main() {
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "slltlint: type errors; aborting")
-		os.Exit(2)
+		return 2
 	}
 
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "slltlint: -write-baseline needs a -baseline path")
+			return 2
+		}
+		b := analysis.NewBaseline(diags, root)
+		if err := analysis.WriteBaseline(*baselinePath, b); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "slltlint: wrote %d baseline entr(ies) to %s\n",
+			len(b.Findings), *baselinePath)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		diags = b.Filter(diags, root)
+	}
+
+	switch {
+	case *sarifOut:
+		if err := analysis.WriteSARIF(os.Stdout, diags, analyzers, root); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	case *jsonOut:
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := []finding{}
+		for _, d := range diags {
+			out = append(out, finding{
+				File:     analysis.RelPath(root, d.Position.Filename),
+				Line:     d.Position.Line,
+				Column:   d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if *fixOut && len(pkgs) > 0 {
+		// All packages of one Load share a FileSet, so any package's fset
+		// resolves every fix position.
+		fset := pkgs[0].Fset
+		for _, d := range diags {
+			for _, f := range d.Fixes {
+				diff, err := analysis.RenderFix(fset, f)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "slltlint: %v\n", err)
+					continue
+				}
+				fmt.Print(diff)
+			}
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "slltlint: %d finding(s) in %d package(s) checked\n", len(diags), len(pkgs))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -16,6 +16,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strconv"
 	"strings"
 )
 
@@ -27,6 +28,13 @@ type Analyzer struct {
 
 	// Doc is a one-paragraph description of what the analyzer checks.
 	Doc string
+
+	// Prepare, if non-nil, runs once per Run invocation over the whole
+	// batch of loaded packages before any per-package pass. Analyzers that
+	// need cross-package knowledge (unitflow's annotation registry) build
+	// it here; the hook sees every target package of the run, so facts
+	// declared in one package are visible while checking another.
+	Prepare func(pkgs []*Package) error
 
 	// Run applies the rule to one package, reporting findings through
 	// pass.Reportf. A non-nil error aborts the whole lint run (reserved
@@ -42,7 +50,25 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// GoVersion is the module language version ("go1.22"), empty when the
+	// go tool did not report one.
+	GoVersion string
+
 	diags *[]Diagnostic
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// A SuggestedFix is one way to resolve a diagnostic, expressed as a set of
+// non-overlapping source edits. cmd/slltlint -fix renders fixes as dry-run
+// diffs; nothing in the framework rewrites files.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
 }
 
 // A Diagnostic is a single finding.
@@ -51,6 +77,7 @@ type Diagnostic struct {
 	Position token.Position // resolved from Pos at report time
 	Analyzer string
 	Message  string
+	Fixes    []SuggestedFix
 }
 
 // String formats the diagnostic in the conventional path:line:col form.
@@ -66,6 +93,54 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ReportFix records a finding at pos carrying one suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
+	})
+}
+
+// FileVersion returns the effective language version of the file containing
+// pos: the module version from go.mod, possibly lowered by the file's
+// //go:build goN.M constraint (the typechecker records the per-file result
+// in TypesInfo.FileVersions). Empty when unknown.
+func (p *Pass) FileVersion(pos token.Pos) string {
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return p.GoVersion
+	}
+	for _, f := range p.Files {
+		if p.Fset.File(f.Pos()) == tf {
+			if v, ok := p.TypesInfo.FileVersions[f]; ok && v != "" {
+				return v
+			}
+			return p.GoVersion
+		}
+	}
+	return p.GoVersion
+}
+
+// VersionAtLeast reports whether language version v ("go1.22") is at least
+// go<major>.<minor>. Unknown or malformed versions report false, so callers
+// default to the conservative pre-1.22 semantics.
+func VersionAtLeast(v string, major, minor int) bool {
+	v = strings.TrimPrefix(v, "go")
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return false
+	}
+	maj, err1 := strconv.Atoi(parts[0])
+	min, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	return maj > major || (maj == major && min >= minor)
 }
 
 // TypeOf returns the type of expression e, or nil if unknown.

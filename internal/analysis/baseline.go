@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A Baseline is a committed inventory of accepted findings. Gating lint
+// against a baseline means pre-existing diagnostics do not fail CI while
+// every new one does — the standard way to adopt a new analyzer over a tree
+// that already has findings without drowning the signal.
+//
+// Entries match on (file, analyzer, message), deliberately not on line
+// numbers: unrelated edits move lines constantly, and a baseline that
+// churns with them would be regenerated on every commit, defeating its
+// purpose. Count bounds how many identical findings one entry absorbs, so
+// duplicating an already-baselined mistake still fails the gate.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// A BaselineEntry identifies one accepted finding class.
+type BaselineEntry struct {
+	File     string `json:"file"` // module-root-relative, slash-separated
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"` // identical findings absorbed (>= 1)
+}
+
+// LoadBaseline reads a baseline file. A missing file is not an error: it
+// loads as the empty baseline, so the flag can point at a path that only
+// exists once findings are accepted.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: baseline: %v", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %v", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("analysis: baseline %s: unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Filter returns the diagnostics not absorbed by the baseline. Paths are
+// relativized against root before matching, mirroring how WriteBaseline
+// records them.
+func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+	type key struct{ file, analyzer, message string }
+	budget := make(map[key]int)
+	for _, e := range b.Findings {
+		n := e.Count
+		if n < 1 {
+			n = 1
+		}
+		budget[key{e.File, e.Analyzer, e.Message}] += n
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := key{RelPath(root, d.Position.Filename), d.Analyzer, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// NewBaseline converts a set of diagnostics into a baseline accepting
+// exactly those findings, with deterministic entry order.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	type key struct{ file, analyzer, message string }
+	counts := make(map[key]int)
+	var order []key
+	for _, d := range diags {
+		k := key{RelPath(root, d.Position.Filename), d.Analyzer, d.Message}
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.message < b.message
+	})
+	out := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	for _, k := range order {
+		out.Findings = append(out.Findings, BaselineEntry{
+			File: k.file, Analyzer: k.analyzer, Message: k.message, Count: counts[k],
+		})
+	}
+	return out
+}
+
+// WriteBaseline writes the baseline as indented JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// RenderFix formats one suggested fix as a dry-run unified-style diff: the
+// affected source lines before and after the edits, prefixed -/+. Nothing
+// is written back; the rendering exists so a finding's remediation can be
+// reviewed (and applied by hand or by tooling) without the linter mutating
+// a tree mid-CI.
+func RenderFix(fset *token.FileSet, fix SuggestedFix) (string, error) {
+	if len(fix.Edits) == 0 {
+		return "", fmt.Errorf("analysis: fix %q has no edits", fix.Message)
+	}
+	file := fset.Position(fix.Edits[0].Pos).Filename
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return "", fmt.Errorf("analysis: rendering fix: %v", err)
+	}
+
+	type edit struct {
+		start, end int
+		text       string
+	}
+	edits := make([]edit, 0, len(fix.Edits))
+	startLine, endLine := int(^uint(0)>>1), 0
+	for _, e := range fix.Edits {
+		p, q := fset.Position(e.Pos), fset.Position(e.End)
+		if p.Filename != file || q.Filename != file {
+			return "", fmt.Errorf("analysis: fix %q spans files", fix.Message)
+		}
+		edits = append(edits, edit{p.Offset, q.Offset, e.NewText})
+		if p.Line < startLine {
+			startLine = p.Line
+		}
+		if q.Line > endLine {
+			endLine = q.Line
+		}
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+	for i := 1; i < len(edits); i++ {
+		if edits[i].start < edits[i-1].end {
+			return "", fmt.Errorf("analysis: fix %q has overlapping edits", fix.Message)
+		}
+	}
+
+	// Widen [lo, hi) to whole lines around the edited span.
+	lo := edits[0].start
+	for lo > 0 && src[lo-1] != '\n' {
+		lo--
+	}
+	hi := edits[len(edits)-1].end
+	for hi < len(src) && src[hi] != '\n' {
+		hi++
+	}
+
+	var after strings.Builder
+	cursor := lo
+	for _, e := range edits {
+		after.Write(src[cursor:e.start])
+		after.WriteString(e.text)
+		cursor = e.end
+	}
+	after.Write(src[cursor:hi])
+
+	var out strings.Builder
+	fmt.Fprintf(&out, "--- %s:%d (%s)\n", RelPath("", file), startLine, fix.Message)
+	for _, line := range strings.Split(string(src[lo:hi]), "\n") {
+		fmt.Fprintf(&out, "-%s\n", line)
+	}
+	for _, line := range strings.Split(after.String(), "\n") {
+		fmt.Fprintf(&out, "+%s\n", line)
+	}
+	return out.String(), nil
+}

@@ -1,15 +1,22 @@
-// Package floatcmp flags `==` and `!=` between floating-point expressions
-// in the geometry and timing packages. DME coordinates, Elmore delays and
-// path lengths accumulate rounding error, so exact comparison silently
-// turns into branch nondeterminism across refactors (and across FMA
-// differences between architectures). The compliant idiom is the epsilon
-// helpers in internal/geom: geom.AlmostEqual(a, b) for equality and
-// geom.Sign(x) for three-way tests against zero.
+// Package floatcmp flags exact floating-point equality in the geometry and
+// timing packages: `==` and `!=` between float expressions, switch
+// statements whose tag is a float (every case arm is an implicit ==), and
+// map types keyed by floats or float-bearing structs (lookups hash exact
+// bits). DME coordinates, Elmore delays and path lengths accumulate
+// rounding error, so exact comparison silently turns into branch
+// nondeterminism across refactors (and across FMA differences between
+// architectures). The compliant idioms are the epsilon helpers in
+// internal/geom — geom.AlmostEqual(a, b) for equality, geom.Sign(x) for
+// three-way tests against zero — and integer-quantized map keys.
 package floatcmp
 
 import (
+	"bytes"
+	"fmt"
 	"go/ast"
+	"go/printer"
 	"go/token"
+	"go/types"
 
 	"sllt/internal/analysis"
 )
@@ -36,24 +43,92 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	pass.Preorder(func(n ast.Node) {
-		be, ok := n.(*ast.BinaryExpr)
-		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-			return
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkBinary(pass, n)
+		case *ast.SwitchStmt:
+			checkSwitchTag(pass, n)
+		case *ast.MapType:
+			checkMapKey(pass, n)
 		}
-		xt, yt := pass.TypeOf(be.X), pass.TypeOf(be.Y)
-		if xt == nil || yt == nil {
-			return
-		}
-		if !analysis.IsFloat(xt) && !analysis.IsFloat(yt) {
-			return
-		}
-		helper := "geom.AlmostEqual"
-		if be.Op == token.NEQ {
-			helper = "!geom.AlmostEqual"
-		}
-		pass.Reportf(be.OpPos,
-			"exact float comparison (%s) on inexact quantities; use %s (or geom.Sign for zero tests)",
-			be.Op, helper)
 	})
 	return nil
+}
+
+func checkBinary(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	xt, yt := pass.TypeOf(be.X), pass.TypeOf(be.Y)
+	if xt == nil || yt == nil {
+		return
+	}
+	if !analysis.IsFloat(xt) && !analysis.IsFloat(yt) {
+		return
+	}
+	helper := "geom.AlmostEqual"
+	if be.Op == token.NEQ {
+		helper = "!geom.AlmostEqual"
+	}
+	msg := fmt.Sprintf(
+		"exact float comparison (%s) on inexact quantities; use %s (or geom.Sign for zero tests)",
+		be.Op, helper)
+	var x, y bytes.Buffer
+	if printer.Fprint(&x, pass.Fset, be.X) == nil && printer.Fprint(&y, pass.Fset, be.Y) == nil {
+		pass.ReportFix(be.OpPos, analysis.SuggestedFix{
+			Message: "replace with " + helper,
+			Edits: []analysis.TextEdit{{
+				Pos:     be.Pos(),
+				End:     be.End(),
+				NewText: fmt.Sprintf("%s(%s, %s)", helper, x.String(), y.String()),
+			}},
+		}, "%s", msg)
+		return
+	}
+	pass.Reportf(be.OpPos, "%s", msg)
+}
+
+// checkSwitchTag flags `switch x { case y: }` with a floating-point tag:
+// every case arm is an implicit == against the tag, with exactly the
+// rounding hazards of a written-out comparison.
+func checkSwitchTag(pass *analysis.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil {
+		return
+	}
+	t := pass.TypeOf(s.Tag)
+	if t == nil || !analysis.IsFloat(t) {
+		return
+	}
+	pass.Reportf(s.Tag.Pos(),
+		"switch on floating-point tag compares exactly per case; rewrite as if/else with geom.AlmostEqual")
+}
+
+// checkMapKey flags map types keyed by floats: lookups hash the exact bit
+// pattern, so two values a rounding error apart index different entries
+// (and NaN keys are unretrievable).
+func checkMapKey(pass *analysis.Pass, mt *ast.MapType) {
+	t := pass.TypeOf(mt.Key)
+	if t == nil || !isFloatKey(t) {
+		return
+	}
+	pass.Reportf(mt.Key.Pos(),
+		"map keyed by floating-point type %s: exact-bit lookups on inexact quantities; key by a quantized or integer form", t)
+}
+
+// isFloatKey reports whether a map key type hashes floating-point bits:
+// floats themselves and structs/arrays with float components (geom.Pt).
+func isFloatKey(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if isFloatKey(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return isFloatKey(u.Elem())
+	}
+	return false
 }

@@ -37,3 +37,54 @@ func almostEqual(a, b float64) bool {
 func Less(a, b float64) bool {
 	return a < b && almostEqual(b, b)
 }
+
+// Flagged: a switch tag of float type compares exactly per case.
+func Classify(d float64) int {
+	switch d { // want "switch on floating-point tag"
+	case 0:
+		return 0
+	case 1:
+		return 1
+	}
+	return -1
+}
+
+// Clean: a tagless switch is just an if/else chain; ordering arms are fine.
+func Bucket(d float64) int {
+	switch {
+	case d < 0:
+		return -1
+	case d < 1:
+		return 0
+	}
+	return 1
+}
+
+// Clean: switch on an integer tag.
+func Fanout(n int) int {
+	switch n {
+	case 0:
+		return 1
+	}
+	return n
+}
+
+// Flagged: maps keyed by floats or float-bearing structs hash exact bits.
+var weightByX map[float64][]int // want "map keyed by floating-point type float64"
+
+type snapshot struct {
+	byPoint map[point]int // want "map keyed by floating-point type"
+}
+
+func index(pts []point) map[point]bool { // want "map keyed by floating-point type"
+	out := make(map[point]bool) // want "map keyed by floating-point type"
+	for _, p := range pts {
+		out[p] = true
+	}
+	return out
+}
+
+// Clean: keying by an integer-quantized form is the prescribed idiom.
+type key struct{ X, Y int64 }
+
+var gridIndex map[key]int

@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// funcReporter is a test analyzer that reports once per function
+// declaration, which makes suppression behavior directly countable.
+func funcReporter(name string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "reports every function declaration (test analyzer)",
+		Run: func(p *Pass) error {
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						p.Reportf(fd.Name.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Both //slltlint:ignore and //lint:ignore must suppress a matching
+// analyzer, comma lists must apply to every listed name, and a directive
+// for a different analyzer must not suppress anything.
+func TestIgnoreDirectiveForms(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/ignorefix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, []*Analyzer{funcReporter("testrule")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var survived []string
+	for _, d := range diags {
+		survived = append(survived, strings.TrimPrefix(d.Message, "func "))
+	}
+	want := []string{"A", "D"}
+	if strings.Join(survived, ",") != strings.Join(want, ",") {
+		t.Errorf("surviving diagnostics = %v, want %v", survived, want)
+	}
+}
+
+// WriteSARIF must emit a structurally valid SARIF 2.1.0 log: schema and
+// version headers, every analyzer as a rule, results indexed into the rule
+// array, and module-root-relative slash paths under %SRCROOT%.
+func TestWriteSARIF(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("mod", "root")
+	azs := []*Analyzer{
+		{Name: "alpha", Doc: "first rule"},
+		{Name: "beta", Doc: "second rule"},
+	}
+	diags := []Diagnostic{
+		{
+			Analyzer: "beta",
+			Message:  "a finding",
+			Position: token.Position{
+				Filename: filepath.Join(root, "internal", "tech", "tech.go"),
+				Line:     7, Column: 3,
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags, azs, root); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if !strings.Contains(log.Schema, "sarif-schema-2.1.0") || log.Version != "2.1.0" {
+		t.Errorf("schema/version = %q / %q", log.Schema, log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "slltlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 2 || run.Tool.Driver.Rules[1].ID != "beta" {
+		t.Errorf("rules = %+v", run.Tool.Driver.Rules)
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "beta" || res.RuleIndex != 1 {
+		t.Errorf("result rule = %q index %d, want beta index 1", res.RuleID, res.RuleIndex)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/tech/tech.go" {
+		t.Errorf("uri = %q, want module-relative slash path", loc.ArtifactLocation.URI)
+	}
+	if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+		t.Errorf("uriBaseId = %q", loc.ArtifactLocation.URIBaseID)
+	}
+	if loc.Region.StartLine != 7 {
+		t.Errorf("startLine = %d", loc.Region.StartLine)
+	}
+}
+
+// Baseline round trip: recorded findings are absorbed exactly up to their
+// count; an extra identical finding and a novel finding both survive.
+func TestBaselineFilter(t *testing.T) {
+	root := t.TempDir()
+	mk := func(file, analyzer, msg string) Diagnostic {
+		return Diagnostic{
+			Analyzer: analyzer,
+			Message:  msg,
+			Position: token.Position{Filename: filepath.Join(root, file), Line: 1},
+		}
+	}
+	recorded := []Diagnostic{
+		mk("a.go", "alpha", "m1"),
+		mk("a.go", "alpha", "m1"), // same class twice: count 2
+		mk("b.go", "beta", "m2"),
+	}
+	b := NewBaseline(recorded, root)
+	if len(b.Findings) != 2 {
+		t.Fatalf("baseline has %d entries, want 2 (aggregated)", len(b.Findings))
+	}
+
+	path := filepath.Join(root, "baseline.json")
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recorded set filters to nothing.
+	if rest := loaded.Filter(recorded, root); len(rest) != 0 {
+		t.Errorf("recorded findings survived the baseline: %v", rest)
+	}
+	// A third identical finding exceeds the count budget.
+	over := append(append([]Diagnostic{}, recorded...), mk("a.go", "alpha", "m1"))
+	if rest := loaded.Filter(over, root); len(rest) != 1 {
+		t.Errorf("duplicated finding beyond the baseline count: %d survived, want 1", len(rest))
+	}
+	// A novel finding survives.
+	novel := append(append([]Diagnostic{}, recorded...), mk("c.go", "alpha", "m3"))
+	if rest := loaded.Filter(novel, root); len(rest) != 1 || rest[0].Message != "m3" {
+		t.Errorf("novel finding: got %v", rest)
+	}
+}
+
+// A missing baseline file loads as the empty baseline; an unsupported
+// version is an error.
+func TestBaselineLoadEdgeCases(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatalf("missing baseline: %v", err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("missing baseline not empty: %v", b.Findings)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Error("unsupported baseline version accepted")
+	}
+}
+
+// RenderFix must produce a before/after diff of the edited lines without
+// touching the file.
+func TestRenderFix(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\nfunc eq(a, b float64) bool { return a == b }\n"
+	path := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmp *ast.BinaryExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.EQL {
+			cmp = be
+		}
+		return true
+	})
+	if cmp == nil {
+		t.Fatal("no comparison found in fixture source")
+	}
+	fix := SuggestedFix{
+		Message: "replace with geom.AlmostEqual",
+		Edits: []TextEdit{{
+			Pos: cmp.Pos(), End: cmp.End(),
+			NewText: "geom.AlmostEqual(a, b)",
+		}},
+	}
+	diff, err := RenderFix(fset, fix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diff, "-func eq(a, b float64) bool { return a == b }") {
+		t.Errorf("diff lacks the original line:\n%s", diff)
+	}
+	if !strings.Contains(diff, "+func eq(a, b float64) bool { return geom.AlmostEqual(a, b) }") {
+		t.Errorf("diff lacks the edited line:\n%s", diff)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != src {
+		t.Error("RenderFix modified the source file")
+	}
+
+	// Overlapping edits and empty fixes are rejected.
+	if _, err := RenderFix(fset, SuggestedFix{Message: "empty"}); err == nil {
+		t.Error("fix with no edits accepted")
+	}
+	overlap := SuggestedFix{
+		Message: "overlap",
+		Edits: []TextEdit{
+			{Pos: cmp.Pos(), End: cmp.End(), NewText: "x"},
+			{Pos: cmp.Pos() + 1, End: cmp.End(), NewText: "y"},
+		},
+	}
+	if _, err := RenderFix(fset, overlap); err == nil {
+		t.Error("overlapping edits accepted")
+	}
+}

@@ -26,6 +26,13 @@ type Package struct {
 	Types      *types.Package
 	TypesInfo  *types.Info
 
+	// ModDir is the root directory of the module containing the package;
+	// SARIF and baseline output relativize file paths against it.
+	ModDir string
+	// GoVersion is the module's language version ("go1.22"); per-file
+	// //go:build downgrades are recorded in TypesInfo.FileVersions.
+	GoVersion string
+
 	// TypeErrors holds typechecking problems. A package with type errors
 	// still carries partial information, but analyzer results on it are
 	// unreliable; cmd/slltlint treats these as hard failures.
@@ -41,6 +48,7 @@ type listPkg struct {
 	Export     string
 	DepOnly    bool
 	Standard   bool
+	Module     *struct{ Dir, GoVersion string }
 	Error      *struct{ Err string }
 }
 
@@ -57,7 +65,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
-		"-json=Dir,ImportPath,Name,GoFiles,Export,DepOnly,Standard,Error",
+		"-json=Dir,ImportPath,Name,GoFiles,Export,DepOnly,Standard,Module,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -130,17 +138,29 @@ func check(fset *token.FileSet, imp types.Importer, t listPkg) (*Package, error)
 		Fset:       fset,
 		Files:      files,
 		TypesInfo: &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Implicits:  make(map[ast.Node]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-			Scopes:     make(map[ast.Node]*types.Scope),
+			Types:        make(map[ast.Expr]types.TypeAndValue),
+			Defs:         make(map[*ast.Ident]types.Object),
+			Uses:         make(map[*ast.Ident]types.Object),
+			Implicits:    make(map[ast.Node]types.Object),
+			Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:       make(map[ast.Node]*types.Scope),
+			FileVersions: make(map[*ast.File]string),
 		},
 	}
 	conf := types.Config{
 		Importer: imp,
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	if t.Module != nil {
+		pkg.ModDir = t.Module.Dir
+		if v := t.Module.GoVersion; v != "" {
+			pkg.GoVersion = "go" + v
+			// Setting the language version makes the typechecker apply
+			// per-file //go:build downgrades and record them in
+			// FileVersions, which the sharedstate analyzer consults for
+			// pre/post-1.22 loop-variable semantics.
+			conf.GoVersion = pkg.GoVersion
+		}
 	}
 	tp, err := conf.Check(t.ImportPath, fset, files, pkg.TypesInfo)
 	if err != nil && len(pkg.TypeErrors) == 0 {

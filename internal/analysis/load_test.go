@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -39,6 +40,56 @@ func TestLoadTypechecksModulePackage(t *testing.T) {
 		if imp.Path() == "sllt/internal/geom" && !imp.Complete() {
 			t.Error("geom import not complete")
 		}
+	}
+}
+
+// A pattern naming a directory that does not exist must be a load error
+// (exit 2 territory for cmd/slltlint), not an empty success.
+func TestLoadNonexistentPackage(t *testing.T) {
+	_, err := Load(".", "./testdata/src/does-not-exist")
+	if err == nil {
+		t.Fatal("Load of a nonexistent package succeeded")
+	}
+	if !strings.Contains(err.Error(), "analysis:") {
+		t.Errorf("error %q does not carry the analysis: prefix", err)
+	}
+}
+
+// A file that passes go list's shallow scan but fails the full parse must
+// surface as a load error naming the file.
+func TestLoadSyntaxError(t *testing.T) {
+	_, err := Load(".", "./testdata/src/broken")
+	if err == nil {
+		t.Fatal("Load of a syntactically broken package succeeded")
+	}
+	if !strings.Contains(err.Error(), "broken.go") {
+		t.Errorf("error %q does not name the broken file", err)
+	}
+}
+
+// An import of a module that is neither required nor vendored must be a
+// load error (go list -e reports it on the dependency entry).
+func TestLoadUnresolvableImport(t *testing.T) {
+	_, err := Load(".", "./testdata/src/badimport")
+	if err == nil {
+		t.Fatal("Load of a package with an unresolvable import succeeded")
+	}
+	if !strings.Contains(err.Error(), "vendored.example/missing/dep") {
+		t.Errorf("error %q does not name the unresolvable import", err)
+	}
+}
+
+// A package that parses but fails typechecking is rejected at list time:
+// `go list -export` compiles targets to produce export data, so the compile
+// failure arrives as a package error before our own typechecker runs. The
+// error must name the offending file.
+func TestLoadTypeErrors(t *testing.T) {
+	_, err := Load(".", "./testdata/src/typeerr")
+	if err == nil {
+		t.Fatal("Load of a package that does not typecheck succeeded")
+	}
+	if !strings.Contains(err.Error(), "typeerr.go") {
+		t.Errorf("error %q does not name the file with type errors", err)
 	}
 }
 

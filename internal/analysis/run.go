@@ -6,7 +6,7 @@ import (
 	"strings"
 )
 
-// IgnorePrefix is the comment directive that suppresses diagnostics:
+// IgnorePrefix is the legacy comment directive that suppresses diagnostics:
 //
 //	//slltlint:ignore maporder iteration feeds a commutative sum
 //
@@ -14,10 +14,26 @@ import (
 // name list may contain several comma-separated names.
 const IgnorePrefix = "slltlint:ignore"
 
+// LintIgnorePrefix is the conventional suppression directive shared with
+// other Go linters:
+//
+//	//lint:ignore unitflow DBU-to-µm conversion site, checked by hand
+//
+// Same placement and name-list rules as IgnorePrefix; the reason text after
+// the names is required so every suppression is justified in place.
+const LintIgnorePrefix = "lint:ignore"
+
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by position. Ignore directives are honored here so all
 // analyzers share one suppression mechanism.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	for _, az := range analyzers {
+		if az.Prepare != nil {
+			if err := az.Prepare(pkgs); err != nil {
+				return nil, fmt.Errorf("analysis: %s prepare: %v", az.Name, err)
+			}
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ign := ignoresOf(pkg)
@@ -29,6 +45,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				GoVersion: pkg.GoVersion,
 				diags:     &found,
 			}
 			if err := az.Run(pass); err != nil {
@@ -77,7 +94,8 @@ func (s ignoreSet) match(file string, line int, analyzer string) bool {
 	return false
 }
 
-// ignoresOf scans a package's comments for ignore directives.
+// ignoresOf scans a package's comments for ignore directives, accepting
+// both the legacy //slltlint:ignore form and the conventional //lint:ignore.
 func ignoresOf(pkg *Package) ignoreSet {
 	set := make(ignoreSet)
 	for _, f := range pkg.Files {
@@ -85,11 +103,16 @@ func ignoresOf(pkg *Package) ignoreSet {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, IgnorePrefix) {
+				var rest string
+				switch {
+				case strings.HasPrefix(text, IgnorePrefix):
+					rest = strings.TrimPrefix(text, IgnorePrefix)
+				case strings.HasPrefix(text, LintIgnorePrefix):
+					rest = strings.TrimPrefix(text, LintIgnorePrefix)
+				default:
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnorePrefix))
-				names := strings.Fields(rest)
+				names := strings.Fields(strings.TrimSpace(rest))
 				if len(names) == 0 {
 					continue
 				}

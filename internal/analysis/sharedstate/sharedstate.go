@@ -87,10 +87,10 @@ func checkClosure(pass *analysis.Pass, lit *ast.FuncLit, loops map[types.Object]
 				return true // := declares closure-locals, no captured write
 			}
 			for _, lhs := range n.Lhs {
-				checkWrite(pass, lit, lhs, reported)
+				checkWrite(pass, lit, lhs, reported, loops)
 			}
 		case *ast.IncDecStmt:
-			checkWrite(pass, lit, n.X, reported)
+			checkWrite(pass, lit, n.X, reported, loops)
 		}
 		return inspectLeaf(pass, lit, loops, reported, n)
 	})
@@ -111,6 +111,12 @@ func inspectLeaf(pass *analysis.Pass, lit *ast.FuncLit, loops map[types.Object]*
 	if !isLoopVar || !within(lit, body) || !capturedBy(obj, lit) {
 		return true
 	}
+	// Per-iteration loop variable semantics (Go >= 1.22, possibly lowered
+	// per file by a //go:build constraint): every iteration declares a
+	// fresh variable, so capturing it is no longer a schedule hazard.
+	if analysis.VersionAtLeast(pass.FileVersion(id.Pos()), 1, 22) {
+		return true
+	}
 	reported[obj] = true
 	pass.Reportf(id.Pos(),
 		"goroutine closure captures loop variable %q: results depend on the schedule; fan out with internal/parallel.ForEach instead",
@@ -122,7 +128,7 @@ func inspectLeaf(pass *analysis.Pass, lit *ast.FuncLit, loops map[types.Object]*
 // enclosing function. The one permitted shape is the index-partitioned
 // write `captured[i] = ...` where i involves a variable local to the
 // closure and nothing captured — the contract parallel.ForEach tasks obey.
-func checkWrite(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr, reported map[types.Object]bool) {
+func checkWrite(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr, reported map[types.Object]bool, loops map[types.Object]*ast.BlockStmt) {
 	for {
 		if p, ok := lhs.(*ast.ParenExpr); ok {
 			lhs = p.X
@@ -147,7 +153,7 @@ func checkWrite(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr, reported ma
 		if obj == nil {
 			return
 		}
-		if indexPartitioned(pass, e.Index, lit) {
+		if indexPartitioned(pass, e.Index, lit, loops) {
 			return
 		}
 		if !reported[obj] {
@@ -178,10 +184,13 @@ func checkWrite(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr, reported ma
 }
 
 // indexPartitioned reports whether an index expression partitions writes
-// across goroutines: it must involve at least one variable declared inside
-// the closure (the task's own index) and no captured variable (which would
-// be shared across goroutines, collapsing the partition).
-func indexPartitioned(pass *analysis.Pass, idx ast.Expr, lit *ast.FuncLit) bool {
+// across goroutines: it must involve at least one goroutine-local variable
+// (the task's own index) and no shared variable (which would collapse the
+// partition). A variable declared inside the closure is local; so is a
+// captured loop variable of the loop the goroutine is spawned in under the
+// per-iteration semantics of Go >= 1.22, where each iteration's goroutine
+// sees its own distinct copy.
+func indexPartitioned(pass *analysis.Pass, idx ast.Expr, lit *ast.FuncLit, loops map[types.Object]*ast.BlockStmt) bool {
 	local, shared := false, false
 	ast.Inspect(idx, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
@@ -192,11 +201,16 @@ func indexPartitioned(pass *analysis.Pass, idx ast.Expr, lit *ast.FuncLit) bool 
 		if !ok {
 			return true
 		}
-		if capturedBy(obj, lit) {
-			shared = true
-		} else {
+		if !capturedBy(obj, lit) {
 			local = true
+			return true
 		}
+		if body, isLoopVar := loops[obj]; isLoopVar && within(lit, body) &&
+			analysis.VersionAtLeast(pass.FileVersion(id.Pos()), 1, 22) {
+			local = true
+			return true
+		}
+		shared = true
 		return true
 	})
 	return local && !shared

@@ -9,7 +9,8 @@ import (
 
 func TestSharedState(t *testing.T) {
 	analysis.RunTest(t, sharedstate.Analyzer,
-		"testdata/src/partition", // positive: algorithm-package basename
+		"testdata/src/partition", // positive: pre-1.22 shared loop variable semantics (//go:build go1.21)
+		"testdata/src/cts",       // positive: go1.22 per-iteration semantics
 		"testdata/src/sched",     // negative: out-of-scope package
 	)
 }

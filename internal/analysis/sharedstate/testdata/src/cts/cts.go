@@ -1,0 +1,79 @@
+// Fixture: Go >= 1.22 per-iteration loop variable semantics. This file has
+// no version-lowering build constraint, so it checks at the module's go1.22:
+// capturing a loop variable is safe (each iteration declares a fresh one)
+// and a captured loop variable is a valid partitioning index — but racing
+// writes to genuinely shared state must still be flagged.
+package cts
+
+import "sync"
+
+// fanOut captures both loop variables; under per-iteration semantics only
+// the racing accumulator write is a hazard.
+func fanOut(items []int) int {
+	sum := 0
+	done := make(chan struct{}, len(items))
+	for i, v := range items {
+		go func() {
+			_ = i
+			sum += v // want "writes captured variable \"sum\""
+			done <- struct{}{}
+		}()
+	}
+	for range items {
+		<-done
+	}
+	return sum
+}
+
+// partitionedByLoopVar writes out[i] with the captured per-iteration i:
+// every goroutine owns a distinct i, so the slots are disjoint and nothing
+// may be flagged.
+func partitionedByLoopVar(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for i := range items {
+		go func() {
+			defer wg.Done()
+			out[i] = i * 2
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// sharedIndex still collapses the partition: idx is a plain captured
+// variable, not a loop variable, so every goroutine hits the same slot.
+func sharedIndex(out []int) {
+	idx := 0
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for j := 0; j < 2; j++ {
+		go func() {
+			defer wg.Done()
+			out[idx] = j // want "writes captured \"out\" without a goroutine-local index"
+		}()
+	}
+	wg.Wait()
+}
+
+// staleLoopVar spawns the goroutine after the loop has finished: the last
+// iteration's variable is an ordinary captured variable by then, so writing
+// through it is a shared slot even under per-iteration semantics.
+func staleLoopVar(out []int) {
+	last := 0
+	for j := range out {
+		last = j
+	}
+	_ = last
+	var k int
+	for k = range out {
+		_ = k
+	}
+	done := make(chan struct{})
+	go func() {
+		out[k] = 1 // want "writes captured \"out\" without a goroutine-local index"
+		close(done)
+	}()
+	<-done
+}

@@ -1,5 +1,11 @@
+//go:build go1.21
+
 // Fixture: the goroutine shapes sharedstate must flag inside an algorithm
-// package, plus the index-partitioned shapes it must accept.
+// package, plus the index-partitioned shapes it must accept. The go1.21
+// build constraint lowers this file's language version below the module's
+// go1.22, pinning the shared per-loop variable semantics where capturing a
+// loop variable is a schedule hazard; the cts fixture covers the >= 1.22
+// per-iteration semantics.
 package partition
 
 import "sync"

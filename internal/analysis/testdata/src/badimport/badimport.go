@@ -1,0 +1,7 @@
+// Package badimport is a loader fixture: its import names a module that is
+// neither in go.mod nor vendored, so go list -e attaches an error entry.
+package badimport
+
+import "vendored.example/missing/dep"
+
+var _ = dep.Thing

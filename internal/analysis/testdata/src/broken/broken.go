@@ -1,0 +1,6 @@
+// Package broken is a loader fixture: it passes go list's shallow scan
+// (package clause and imports are well-formed) but fails the full parse.
+package broken
+
+func Truncated() {
+	if true {

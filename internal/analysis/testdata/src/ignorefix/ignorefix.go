@@ -1,0 +1,18 @@
+// Package ignorefix is a framework fixture for the suppression directives:
+// the test analyzer reports at every function, and only the functions
+// without a matching directive may survive Run.
+package ignorefix
+
+func A() {}
+
+//slltlint:ignore testrule legacy directive form
+func B() {}
+
+//lint:ignore testrule conventional directive form
+func C() {}
+
+//lint:ignore otherrule a different analyzer's directive must not suppress
+func D() {}
+
+//lint:ignore otherrule,testrule comma-separated name lists apply to each
+func E() {}

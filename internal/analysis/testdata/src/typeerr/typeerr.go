@@ -1,0 +1,9 @@
+// Package typeerr is a loader fixture: it parses but does not typecheck.
+// Because `go list -export` compiles target packages, the failure surfaces
+// as a list-time package error naming this file, not via TypeErrors.
+package typeerr
+
+func Mismatch() int {
+	var s string = 42
+	return s
+}

@@ -1,0 +1,249 @@
+package unitflow
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Unit is a product of base dimensions with integer exponents. The base
+// dimensions mirror the repository's unit system (internal/tech doc):
+//
+//	ps  time
+//	fF  capacitance
+//	um  length
+//
+// Resistance is not a base dimension: the system is chosen so that
+// 1 kΩ · 1 fF = 1 ps, which makes kohm ≡ ps/fF definitionally — exactly the
+// identity that lets Elmore products r·L·(c·L/2 + load) type-check to ps.
+// The zero-length Unit is dimensionless (annotated "1"), distinct from an
+// unannotated (unknown) quantity.
+type Unit map[string]int
+
+// baseUnits maps every accepted annotation token to its dimension vector.
+// Unicode spellings are accepted alongside ASCII so annotations can match
+// the prose comments they sit next to.
+var baseUnits = map[string]Unit{
+	"ps":   {"ps": 1},
+	"fF":   {"fF": 1},
+	"um":   {"um": 1},
+	"µm":   {"um": 1},
+	"kohm": {"ps": 1, "fF": -1},
+	"kOhm": {"ps": 1, "fF": -1},
+	"kΩ":   {"ps": 1, "fF": -1},
+	"1":    {},
+}
+
+// dimOrder fixes the rendering order of dimensions in diagnostics.
+var dimOrder = []string{"ps", "fF", "um"}
+
+// Mul returns the product unit (exponents add).
+func (u Unit) Mul(v Unit) Unit {
+	out := make(Unit, len(u)+len(v))
+	for d, e := range u {
+		out[d] = e
+	}
+	for d, e := range v {
+		out[d] += e
+		if out[d] == 0 {
+			delete(out, d)
+		}
+	}
+	return out
+}
+
+// Div returns the quotient unit (exponents subtract).
+func (u Unit) Div(v Unit) Unit {
+	inv := make(Unit, len(v))
+	for d, e := range v {
+		inv[d] = -e
+	}
+	return u.Mul(inv)
+}
+
+// Equal reports dimension-for-dimension equality.
+func (u Unit) Equal(v Unit) bool {
+	if len(u) != len(v) {
+		return false
+	}
+	for d, e := range u {
+		if v[d] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// Sqrt halves every exponent. ok is false when any exponent is odd — the
+// square root of such a quantity is dimensionally incoherent.
+func (u Unit) Sqrt() (Unit, bool) {
+	out := make(Unit, len(u))
+	for d, e := range u {
+		if e%2 != 0 {
+			return nil, false
+		}
+		out[d] = e / 2
+	}
+	return out, true
+}
+
+// Dimensionless reports whether the unit has no dimensions.
+func (u Unit) Dimensionless() bool { return len(u) == 0 }
+
+// String renders the unit in numerator/denominator form: "ps", "fF/µm",
+// "µm²", "ps/(fF·µm)", "1" for dimensionless. Units dimensionally equal to
+// a resistance render through the base dimensions (kΩ shows as ps/fF),
+// which keeps the printer total and the identity kΩ·fF = ps visible.
+func (u Unit) String() string {
+	var num, den []string
+	render := func(d string, e int) string {
+		name := d
+		if name == "um" {
+			name = "µm"
+		}
+		switch e {
+		case 1:
+			return name
+		case 2:
+			return name + "²"
+		case 3:
+			return name + "³"
+		default:
+			return name + "^" + strconv.Itoa(e)
+		}
+	}
+	dims := make([]string, 0, len(u))
+	for d := range u {
+		dims = append(dims, d)
+	}
+	sort.Slice(dims, func(i, j int) bool { return dimIndex(dims[i]) < dimIndex(dims[j]) })
+	for _, d := range dims {
+		if e := u[d]; e > 0 {
+			num = append(num, render(d, e))
+		} else {
+			den = append(den, render(d, -e))
+		}
+	}
+	switch {
+	case len(num) == 0 && len(den) == 0:
+		return "1"
+	case len(den) == 0:
+		return strings.Join(num, "·")
+	case len(num) == 0:
+		return "1/" + parenthesize(den)
+	default:
+		return strings.Join(num, "·") + "/" + parenthesize(den)
+	}
+}
+
+func parenthesize(parts []string) string {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "(" + strings.Join(parts, "·") + ")"
+}
+
+func dimIndex(d string) int {
+	for i, x := range dimOrder {
+		if x == d {
+			return i
+		}
+	}
+	return len(dimOrder)
+}
+
+// ParseUnit parses one unit expression from an annotation:
+//
+//	expr := term { ("*" | "·" | "/") term }
+//	term := base [ "^" int ] | base "²" | base "³"
+//
+// evaluated left to right (so "ps/fF·µm" is (ps/fF)·µm, matching the
+// informal way the doc comments write composite units). Unknown base
+// tokens are errors — a typo'd annotation must surface as a diagnostic,
+// not silently check nothing.
+func ParseUnit(s string) (Unit, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("empty unit expression")
+	}
+	// Tokenize into terms and operators.
+	var terms []string
+	var ops []byte
+	cur := strings.Builder{}
+	flush := func() error {
+		if cur.Len() == 0 {
+			return fmt.Errorf("missing unit term in %q", s)
+		}
+		terms = append(terms, cur.String())
+		cur.Reset()
+		return nil
+	}
+	for _, r := range s {
+		switch r {
+		case '*', '·', '/':
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			if r == '/' {
+				ops = append(ops, '/')
+			} else {
+				ops = append(ops, '*')
+			}
+		case ' ', '\t':
+			// insignificant inside an expression
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+
+	out, err := parseTerm(terms[0])
+	if err != nil {
+		return nil, err
+	}
+	for i, op := range ops {
+		t, err := parseTerm(terms[i+1])
+		if err != nil {
+			return nil, err
+		}
+		if op == '/' {
+			out = out.Div(t)
+		} else {
+			out = out.Mul(t)
+		}
+	}
+	return out, nil
+}
+
+// parseTerm parses one base unit with an optional exponent.
+func parseTerm(t string) (Unit, error) {
+	exp := 1
+	switch {
+	case strings.HasSuffix(t, "²"):
+		exp, t = 2, strings.TrimSuffix(t, "²")
+	case strings.HasSuffix(t, "³"):
+		exp, t = 3, strings.TrimSuffix(t, "³")
+	default:
+		if i := strings.IndexByte(t, '^'); i >= 0 {
+			e, err := strconv.Atoi(t[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("bad exponent in unit term %q", t)
+			}
+			exp, t = e, t[:i]
+		}
+	}
+	base, ok := baseUnits[t]
+	if !ok {
+		return nil, fmt.Errorf("unknown unit %q (known: ps, fF, um/µm, kohm/kΩ, 1)", t)
+	}
+	out := make(Unit, len(base))
+	for d, e := range base {
+		if e*exp != 0 {
+			out[d] = e * exp
+		}
+	}
+	return out, nil
+}

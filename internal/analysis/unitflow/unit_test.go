@@ -1,0 +1,144 @@
+package unitflow
+
+import "testing"
+
+func mustParse(t *testing.T, s string) Unit {
+	t.Helper()
+	u, err := ParseUnit(s)
+	if err != nil {
+		t.Fatalf("ParseUnit(%q): %v", s, err)
+	}
+	return u
+}
+
+// TestResistanceTimesCapacitanceIsTime pins the identity the whole unit
+// system is built around: kΩ·fF → ps, so Elmore products type-check.
+func TestResistanceTimesCapacitanceIsTime(t *testing.T) {
+	r := mustParse(t, "kohm")
+	c := mustParse(t, "fF")
+	ps := mustParse(t, "ps")
+	if got := r.Mul(c); !got.Equal(ps) {
+		t.Errorf("kΩ·fF = %s, want ps", got)
+	}
+	// And the inverse: ps/kΩ → fF, ps/fF → kΩ.
+	if got := ps.Div(r); !got.Equal(c) {
+		t.Errorf("ps/kΩ = %s, want fF", got)
+	}
+	if got := ps.Div(c); !got.Equal(r) {
+		t.Errorf("ps/fF = %s, want kΩ", got)
+	}
+}
+
+// TestCapacitanceDensityTimesLengthIsCapacitance pins fF/µm · µm → fF, the
+// wire-capacitance derivation.
+func TestCapacitanceDensityTimesLengthIsCapacitance(t *testing.T) {
+	density := mustParse(t, "fF/um")
+	length := mustParse(t, "um")
+	fF := mustParse(t, "fF")
+	if got := density.Mul(length); !got.Equal(fF) {
+		t.Errorf("fF/µm · µm = %s, want fF", got)
+	}
+}
+
+func TestParseUnit(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"ps", "ps"},
+		{"fF", "fF"},
+		{"um", "µm"},
+		{"µm", "µm"},
+		{"kohm", "ps/fF"},
+		{"kΩ", "ps/fF"},
+		{"1", "1"},
+		{"um^2", "µm²"},
+		{"um²", "µm²"},
+		{"um³", "µm³"},
+		{"fF/um", "fF/µm"},
+		{"kohm/um", "ps/(fF·µm)"},
+		{"ps / fF", "ps/fF"},
+		{"ps·fF", "ps·fF"},
+		{"ps*fF/um", "ps·fF/µm"},
+		{"1/ps", "1/ps"},
+		{"kohm*fF", "ps"}, // left-to-right composition collapses
+	}
+	for _, tc := range cases {
+		u, err := ParseUnit(tc.in)
+		if err != nil {
+			t.Errorf("ParseUnit(%q): %v", tc.in, err)
+			continue
+		}
+		if got := u.String(); got != tc.want {
+			t.Errorf("ParseUnit(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseUnitErrors(t *testing.T) {
+	for _, in := range []string{"", "pss", "ps/", "/ps", "ps^x", "nm", "ps//fF"} {
+		if _, err := ParseUnit(in); err == nil {
+			t.Errorf("ParseUnit(%q): expected error", in)
+		}
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	area := mustParse(t, "um²")
+	um := mustParse(t, "um")
+	got, ok := area.Sqrt()
+	if !ok || !got.Equal(um) {
+		t.Errorf("sqrt(µm²) = %s, %v; want µm, true", got, ok)
+	}
+	if _, ok := mustParse(t, "ps").Sqrt(); ok {
+		t.Errorf("sqrt(ps) should be incoherent")
+	}
+	// ps²/µm² → ps/µm: mixed even exponents halve together.
+	mixed := mustParse(t, "ps²/um²")
+	want := mustParse(t, "ps/um")
+	if got, ok := mixed.Sqrt(); !ok || !got.Equal(want) {
+		t.Errorf("sqrt(ps²/µm²) = %s, %v; want ps/µm, true", got, ok)
+	}
+}
+
+func TestDimensionless(t *testing.T) {
+	one := mustParse(t, "1")
+	if !one.Dimensionless() {
+		t.Errorf("1 should be dimensionless")
+	}
+	fF := mustParse(t, "fF")
+	if got := fF.Div(fF); !got.Dimensionless() {
+		t.Errorf("fF/fF = %s, want dimensionless", got)
+	}
+	if fF.Dimensionless() {
+		t.Errorf("fF should not be dimensionless")
+	}
+}
+
+func TestParseFuncDirective(t *testing.T) {
+	fu, err := parseFuncDirective("length um, load fF -> ps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fu.params["length"].Equal(mustParse(t, "um")) || !fu.params["load"].Equal(mustParse(t, "fF")) {
+		t.Errorf("params = %v", fu.params)
+	}
+	if len(fu.results) != 1 || !fu.results[0].Equal(mustParse(t, "ps")) {
+		t.Errorf("results = %v", fu.results)
+	}
+
+	fu, err = parseFuncDirective("-> ps, _")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fu.params) != 0 || len(fu.results) != 2 || fu.results[1] != nil {
+		t.Errorf("got %v / %v", fu.params, fu.results)
+	}
+
+	if _, err := parseFuncDirective("ps"); err == nil {
+		t.Errorf("value-form directive on a function should be rejected")
+	}
+	if _, err := parseFuncDirective("x -> ps"); err == nil {
+		t.Errorf("parameter without unit should be rejected")
+	}
+}

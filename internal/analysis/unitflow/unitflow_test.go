@@ -1,0 +1,12 @@
+package unitflow_test
+
+import (
+	"testing"
+
+	"sllt/internal/analysis"
+	"sllt/internal/analysis/unitflow"
+)
+
+func TestUnitFlow(t *testing.T) {
+	analysis.RunTest(t, unitflow.Analyzer, "testdata/src/elmore")
+}

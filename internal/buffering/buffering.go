@@ -28,17 +28,17 @@ type Inserter struct {
 	Lib  *liberty.Library
 	Tech tech.Tech
 	// MaxCap is the per-stage load limit in fF (Table 5 uses 150 fF).
-	MaxCap float64
+	MaxCap float64 // unit: fF
 	// Margin derates cell max_capacitance when choosing drive strengths.
-	Margin float64
+	Margin float64 // unit: 1
 	// NominalSlew is the assumed input slew (ps) for critical-length math.
-	NominalSlew float64
+	NominalSlew float64 // unit: ps
 	// MaxWireDelay caps the Elmore delay any single unbuffered wire may
 	// contribute; edges above it get a decoupling repeater at the load end.
 	// The cap matters on die-spanning trunks, where the r·L·C cross term
 	// dwarfs what the critical-length formula (which assumes a fixed
 	// decoupled load) accounts for.
-	MaxWireDelay float64
+	MaxWireDelay float64 // unit: ps
 	// ForceCell, when non-empty, overrides load-based sizing with one fixed
 	// cell (the OpenROAD-like baseline drives everything with large
 	// buffers).
@@ -49,6 +49,8 @@ type Inserter struct {
 // delay-aware: among cells whose derated max_capacitance covers the load,
 // the smallest cell within 10 % of the best achievable delay wins — the
 // standard speed/area trade real sizers make.
+//
+// unit: load fF -> _
 func (ins *Inserter) pick(load float64) *liberty.BufferCell {
 	if ins.ForceCell != "" {
 		if c := ins.Lib.Cell(ins.ForceCell); c != nil {
@@ -78,6 +80,8 @@ func (ins *Inserter) pick(load float64) *liberty.BufferCell {
 }
 
 // NewInserter returns an inserter with the repository defaults.
+//
+// unit: maxCap fF -> _
 func NewInserter(lib *liberty.Library, tc tech.Tech, maxCap float64) *Inserter {
 	return &Inserter{Lib: lib, Tech: tc, MaxCap: maxCap, Margin: 0.9, NominalSlew: 20, MaxWireDelay: 20}
 }
@@ -90,6 +94,8 @@ func NewInserter(lib *liberty.Library, tc tech.Tech, maxCap float64) *Inserter {
 //
 // cap is the capacitance the inserted buffer would decouple (the paper
 // refines Cap_pin to Cap_load).
+//
+// unit: cap fF -> um
 func (ins *Inserter) CriticalLength(cell *liberty.BufferCell, cap float64) float64 {
 	r, c := ins.Tech.RPerUm, ins.Tech.CPerUm
 	den := r * c * (math.Log(9)*cell.WS + 1)
@@ -101,6 +107,8 @@ func (ins *Inserter) CriticalLength(cell *liberty.BufferCell, cap float64) float
 
 // LowerBound evaluates Equation (7) for a node with the given downstream
 // load: the most conservative insertion-delay estimate across the library.
+//
+// unit: capLoad fF -> ps
 func (ins *Inserter) LowerBound(capLoad float64) float64 {
 	return ins.Lib.InsertionDelayLowerBound(capLoad)
 }
@@ -273,6 +281,8 @@ func (ins *Inserter) DecoupleSlowWires(t *tree.Tree) int {
 // most lhat, inserting Steiner nodes (repeater sites for pass 2 — they only
 // become buffers if the cap criterion also fires) and direct repeaters for
 // truly long runs.
+//
+// unit: lhat um ->
 func splitLongEdges(t *tree.Tree, lhat float64) {
 	if lhat <= 0 || math.IsInf(lhat, 1) {
 		return

@@ -28,10 +28,10 @@ import (
 // Constraints are the per-net design rules (the paper's Table 5 values are
 // the defaults).
 type Constraints struct {
-	SkewBound float64 // ps, global target
+	SkewBound float64 // unit: ps // global target
 	MaxFanout int
-	MaxCap    float64 // fF
-	MaxWL     float64 // µm
+	MaxCap    float64 // unit: fF
+	MaxWL     float64 // unit: um
 }
 
 // DefaultConstraints returns Table 5: skew 80 ps, fanout 32, cap 150 fF,
@@ -96,10 +96,10 @@ type Options struct {
 	UseSA   bool
 	SAIters int
 	Seed    int64
-	// SourceSlew is the slew of the clock at the die input, ps.
-	SourceSlew float64
+	// SourceSlew is the slew of the clock at the die input.
+	SourceSlew float64 // unit: ps
 	// BufferMargin derates cell max caps during sizing.
-	BufferMargin float64
+	BufferMargin float64 // unit: 1
 	// ForceCell, when set, disables load-based buffer sizing in favor of
 	// one fixed cell (used by the OpenROAD-like baseline).
 	ForceCell string
@@ -146,8 +146,8 @@ type Result struct {
 // level 0, a cluster driver input above.
 type clockNode struct {
 	loc   geom.Point
-	cap   float64 // input capacitance seen by the level net
-	delay float64 // estimated insertion delay below this node
+	cap   float64 // unit: fF // input capacitance seen by the level net
+	delay float64 // unit: ps // estimated insertion delay below this node
 	sub   *tree.Node
 }
 
@@ -217,6 +217,8 @@ func estLevels(n, fanout int) int {
 
 // levelShare splits the global skew budget across remaining levels: net
 // spans telescope, so the sum of per-level bounds bounds the global skew.
+//
+// unit: skew ps -> ps
 func levelShare(skew float64, levelsLeft int) float64 {
 	if levelsLeft < 1 {
 		levelsLeft = 1
@@ -226,6 +228,8 @@ func levelShare(skew float64, levelsLeft int) float64 {
 
 // buildLevel partitions the nodes, builds one buffered net per cluster and
 // returns the next level's nodes.
+//
+// unit: levelBound ps ->
 func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, level int) ([]clockNode, int, error) {
 	pts := make([]geom.Point, len(nodes))
 	caps := make([]float64, len(nodes))
@@ -403,6 +407,8 @@ func centroidOf(nodes []clockNode) geom.Point {
 // nodes, driver + repeater insertion, buffered skew repair, and grafting of
 // the nodes' subtrees under the new net's leaves. The returned tree is
 // rooted at a Source node at src.
+//
+// unit: levelBound ps ->
 func buildNet(src geom.Point, nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, top bool) (*tree.Tree, error) {
 	net := &tree.Net{Name: "lvl", Source: src}
 	for i := range nodes {

@@ -11,6 +11,8 @@ import (
 // driver according to the configured estimation mode: 0 (none), the
 // Equation-7 lower-bound propagation (the paper's choice — conservative,
 // cheap, and stable under later re-buffering), or exact STA-lite.
+//
+// unit: -> ps, _
 func estimateLatency(driver *tree.Node, opts Options) (float64, error) {
 	switch opts.Est {
 	case EstNone:
@@ -23,6 +25,8 @@ func estimateLatency(driver *tree.Node, opts Options) (float64, error) {
 }
 
 // exactLatency runs full timing on the (detached) subtree.
+//
+// unit: -> ps, _
 func exactLatency(driver *tree.Node, opts Options) (float64, error) {
 	caps := stageCaps(driver, opts)
 	var maxLat float64
@@ -51,6 +55,8 @@ func exactLatency(driver *tree.Node, opts Options) (float64, error) {
 
 // lowerBoundLatency propagates wire Elmore delays plus the Equation-7
 // buffer lower bound through the subtree.
+//
+// unit: -> ps
 func lowerBoundLatency(driver *tree.Node, opts Options) float64 {
 	caps := stageCaps(driver, opts)
 	var maxLat float64
@@ -71,6 +77,8 @@ func lowerBoundLatency(driver *tree.Node, opts Options) float64 {
 }
 
 // stageCaps computes downstream capacitance per node, cut at buffer inputs.
+//
+// unit: -> fF
 func stageCaps(root *tree.Node, opts Options) map[*tree.Node]float64 {
 	caps := make(map[*tree.Node]float64)
 	var rec func(n *tree.Node) float64
@@ -103,6 +111,8 @@ func stageCaps(root *tree.Node, opts Options) map[*tree.Node]float64 {
 }
 
 // bufferLoad returns the stage load a buffer drives.
+//
+// unit: caps fF -> fF
 func bufferLoad(n *tree.Node, caps map[*tree.Node]float64, opts Options) float64 {
 	var load float64
 	for _, c := range n.Children {
@@ -116,6 +126,8 @@ func bufferLoad(n *tree.Node, caps map[*tree.Node]float64, opts Options) float64
 // with buffer stage delays in the delay model. Because added wire loads the
 // buffer driving it (raising that whole cone equally), the pass iterates to
 // a fixed point.
+//
+// unit: bound ps ->
 func repairBuffered(t *tree.Tree, opts Options, dopts dme.Options, bound float64) {
 	for iter := 0; iter < 4; iter++ {
 		caps := stageCaps(t.Root, opts)
@@ -176,6 +188,8 @@ func repairBuffered(t *tree.Tree, opts Options, dopts dme.Options, bound float64
 
 // invWireElmore returns the wire length whose Elmore delay into the given
 // load reaches target.
+//
+// unit: target ps, load fF -> um
 func invWireElmore(target, load float64, opts Options) float64 {
 	if target <= 0 {
 		return 0

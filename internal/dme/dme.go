@@ -93,19 +93,19 @@ func BST(bound float64) Options { return Options{Model: Linear, SkewBound: bound
 // mnode is a subtree during the bottom-up phase.
 type mnode struct {
 	ms     geom.Octagon // merging region (degenerate = arc/point; octagon for BST)
-	lo, hi float64      // delay interval covering every embedding in ms
-	cap    float64      // total downstream capacitance (Elmore)
+	lo, hi float64      // delay interval covering every embedding in ms (model units)
+	cap    float64      // unit: fF // total downstream capacitance (Elmore)
 
 	// Merge parameters, used by the top-down phase to realize edges.
 	// Along the no-detour family the wire toward the left child is t and
 	// toward the right child d−t, with t free inside [tlo, thi]; tstar is
 	// the span-minimizing preference. Detour merges fix the split.
-	d        float64
-	tlo, thi float64
-	tstar    float64
+	d        float64 // unit: um
+	tlo, thi float64 // unit: um
+	tstar    float64 // unit: um
 	detour   bool
-	eaFix    float64
-	ebFix    float64
+	eaFix    float64 // unit: um
+	ebFix    float64 // unit: um
 
 	left, right *mnode
 	sinkIdx     int // >= 0 for leaves
@@ -217,7 +217,10 @@ func topDown(net *tree.Net, root *mnode) *tree.Tree {
 }
 
 // delayAdd returns the delay increase of a wire of the given length driving
-// a subtree with the given downstream capacitance.
+// a subtree with the given downstream capacitance. The result is in model
+// units (µm for Linear, ps for Elmore), so it stays unannotated.
+//
+// unit: length um, subCap fF -> _
 func (o Options) delayAdd(length, subCap float64) float64 {
 	if o.Model == Linear {
 		return length
@@ -226,7 +229,9 @@ func (o Options) delayAdd(length, subCap float64) float64 {
 }
 
 // invDelayAdd returns the minimal wire length whose delayAdd reaches target
-// (>= 0) into a subtree with the given capacitance.
+// (>= 0, in model units) into a subtree with the given capacitance.
+//
+// unit: subCap fF -> um
 func (o Options) invDelayAdd(target, subCap float64) float64 {
 	if target <= 0 {
 		return 0
@@ -407,6 +412,8 @@ func unionRegion(A, B geom.Octagon, d, tlo, thi float64) geom.Octagon {
 //
 // giving a feasible window [tlo, thi] that is non-empty whenever it
 // intersects [0, d]; otherwise exactly one side must be snaked.
+//
+// unit: d um -> um, um
 func linearSplit(a, b *mnode, d, B float64) (ea, eb float64) {
 	tlo := (b.hi - a.lo + d - B) / 2
 	thi := (B - a.hi + b.lo + d) / 2
@@ -448,6 +455,8 @@ func clampF(x, lo, hi float64) float64 {
 // is strictly increasing, so feasibility at total length d reduces to an
 // interval test and the split to one binary search; when the band lies
 // outside h's range, exactly one side is snaked by the closed-form inverse.
+//
+// unit: d um -> um, um
 func elmoreSplit(a, b *mnode, d, B float64, opts Options) (ea, eb float64) {
 	dlo := b.hi - a.lo - B
 	dhi := B - a.hi + b.lo
@@ -483,12 +492,18 @@ func elmoreSplit(a, b *mnode, d, B float64, opts Options) (ea, eb float64) {
 // linearMergeCost returns the total wire length a linear-model merge of a
 // and b would need under skew bound B, without allocating. Used by the
 // Greedy-Merge topology generator's O(n³) pair scan.
+//
+// unit: -> um
 func linearMergeCost(a, b *mnode, B float64) float64 {
 	d := a.ms.Dist(b.ms)
 	ea, eb := linearSplit(a, b, d, B)
 	return ea + eb
 }
 
+// wireCap returns the wire capacitance a merge adds; zero under Linear,
+// where capacitance never enters the delay model.
+//
+// unit: length um -> fF
 func (o Options) wireCap(length float64) float64 {
 	if o.Model == Linear {
 		return 0

@@ -12,24 +12,28 @@ import (
 // output slew model SlewOut = SC·C_load + SI.
 type BufferCell struct {
 	Name     string
-	InputCap float64 // fF
-	MaxCap   float64 // fF, output max_capacitance
-	Area     float64 // µm²
+	InputCap float64 // unit: fF
+	MaxCap   float64 // unit: fF // output max_capacitance
+	Area     float64 // unit: um^2
 
-	WS float64 // slew coefficient (dimensionless)
-	WC float64 // load coefficient, ps/fF
-	WI float64 // intrinsic delay, ps
+	WS float64 // unit: 1 // slew coefficient (dimensionless)
+	WC float64 // unit: ps/fF // load coefficient
+	WI float64 // unit: ps // intrinsic delay
 
-	SC float64 // output slew load coefficient, ps/fF
-	SI float64 // output slew intrinsic, ps
+	SC float64 // unit: ps/fF // output slew load coefficient
+	SI float64 // unit: ps // output slew intrinsic
 }
 
 // Delay evaluates Equation (6) for the cell.
+//
+// unit: slewIn ps, capLoad fF -> ps
 func (c *BufferCell) Delay(slewIn, capLoad float64) float64 {
 	return c.WS*slewIn + c.WC*capLoad + c.WI
 }
 
 // OutSlew returns the output slew driving capLoad.
+//
+// unit: capLoad fF -> ps
 func (c *BufferCell) OutSlew(capLoad float64) float64 {
 	return c.SC*capLoad + c.SI
 }
@@ -60,6 +64,8 @@ func (l *Library) Strongest() *BufferCell { return l.Cells[len(l.Cells)-1] }
 // PickForLoad returns the smallest cell whose max_capacitance covers the
 // load with the given derating margin in (0,1]; the strongest cell if none
 // qualifies.
+//
+// unit: capLoad fF, margin 1 -> _
 func (l *Library) PickForLoad(capLoad, margin float64) *BufferCell {
 	if margin <= 0 || margin > 1 {
 		margin = 1
@@ -74,6 +80,8 @@ func (l *Library) PickForLoad(capLoad, margin float64) *BufferCell {
 
 // MinWC returns min over cells of the load coefficient — the first term of
 // the paper's Equation (7) insertion-delay lower bound.
+//
+// unit: -> ps/fF
 func (l *Library) MinWC() float64 {
 	m := l.Cells[0].WC
 	for _, c := range l.Cells[1:] {
@@ -86,6 +94,8 @@ func (l *Library) MinWC() float64 {
 
 // MinWI returns min over cells of the intrinsic delay — the second term of
 // Equation (7).
+//
+// unit: -> ps
 func (l *Library) MinWI() float64 {
 	m := l.Cells[0].WI
 	for _, c := range l.Cells[1:] {
@@ -99,6 +109,8 @@ func (l *Library) MinWI() float64 {
 // InsertionDelayLowerBound evaluates the paper's Equation (7): the most
 // conservative buffer delay estimate for a node with the given downstream
 // load, used to pre-annotate nodes before their buffers are actually chosen.
+//
+// unit: capLoad fF -> ps
 func (l *Library) InsertionDelayLowerBound(capLoad float64) float64 {
 	return l.MinWC()*capLoad + l.MinWI()
 }
@@ -139,6 +151,10 @@ func firstArg(args []string) string {
 	return args[0]
 }
 
+// nominalInSlew is the input slew at which the fitted output-slew
+// sensitivity is folded into the intrinsic term.
+const nominalInSlew = 20 // unit: ps
+
 // extractCell converts one cell group into a BufferCell; returns (nil, nil)
 // for cells that are not two-pin buffers.
 func extractCell(cg *Group) (*BufferCell, error) {
@@ -177,10 +193,10 @@ func extractCell(cg *Group) (*BufferCell, error) {
 	cell.WS, cell.WC, cell.WI = dws, dwc, dwi
 	if sws, swc, swi, err := fitLUT(tg, "rise_transition", "fall_transition"); err == nil {
 		// Output slew barely depends on input slew to first order; fold the
-		// fitted slew sensitivity into the intrinsic at a nominal 20 ps
-		// input slew.
+		// fitted slew sensitivity into the intrinsic at the nominal input
+		// slew.
 		cell.SC = swc
-		cell.SI = swi + sws*20
+		cell.SI = swi + sws*nominalInSlew
 	} else {
 		cell.SC = dwc * 1.2
 		cell.SI = dwi
@@ -192,7 +208,11 @@ func extractCell(cg *Group) (*BufferCell, error) {
 }
 
 // fitLUT least-squares fits delay = ws·slew + wc·cap + wi over the first
-// available of the named tables (averaging rise/fall when both exist).
+// available of the named tables (averaging rise/fall when both exist). The
+// same shape fits transition tables: the fitted value is then a slew, which
+// has the same dimensions (ps output over ps and fF inputs).
+//
+// unit: -> 1, ps/fF, ps, _
 func fitLUT(tg *Group, names ...string) (ws, wc, wi float64, err error) {
 	var fits [][3]float64
 	for _, name := range names {

@@ -20,11 +20,11 @@ type Tech struct {
 	Name string
 
 	// RPerUm is wire resistance in kΩ/µm.
-	RPerUm float64
+	RPerUm float64 // unit: kohm/um
 	// CPerUm is wire capacitance in fF/µm.
-	CPerUm float64
+	CPerUm float64 // unit: fF/um
 	// SinkCap is the default flip-flop clock pin capacitance in fF.
-	SinkCap float64
+	SinkCap float64 // unit: fF
 }
 
 // Default28nm returns the synthetic 28 nm-class technology used throughout
@@ -39,13 +39,19 @@ func Default28nm() Tech {
 }
 
 // WireCap returns the capacitance of length µm of wire, in fF.
+//
+// unit: length um -> fF
 func (t Tech) WireCap(length float64) float64 { return t.CPerUm * length }
 
 // WireRes returns the resistance of length µm of wire, in kΩ.
+//
+// unit: length um -> kohm
 func (t Tech) WireRes(length float64) float64 { return t.RPerUm * length }
 
 // WireElmore returns the Elmore delay in ps of a wire of the given length
 // driving the given downstream load (fF): r·L·(c·L/2 + load).
+//
+// unit: length um, load fF -> ps
 func (t Tech) WireElmore(length, load float64) float64 {
 	return t.RPerUm * length * (t.CPerUm*length/2 + load)
 }

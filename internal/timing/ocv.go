@@ -16,10 +16,10 @@ import (
 // divergent paths, so trees that are shallow where it counts see less
 // variation-induced skew.
 type OCVParams struct {
-	WireEarly float64 // multiplier on wire delay for the early race
-	WireLate  float64 // multiplier on wire delay for the late race
-	CellEarly float64 // multiplier on buffer delay, early
-	CellLate  float64 // multiplier on buffer delay, late
+	WireEarly float64 // unit: 1 // multiplier on wire delay for the early race
+	WireLate  float64 // unit: 1 // multiplier on wire delay for the late race
+	CellEarly float64 // unit: 1 // multiplier on buffer delay, early
+	CellLate  float64 // unit: 1 // multiplier on buffer delay, late
 }
 
 // DefaultOCV returns ±5 % wire and ±8 % cell derates, typical sign-off
@@ -32,13 +32,13 @@ func DefaultOCV() OCVParams {
 type OCVReport struct {
 	// NaiveSkew is max late arrival − min early arrival: the bound without
 	// common-path pessimism removal.
-	NaiveSkew float64
+	NaiveSkew float64 // unit: ps
 	// Skew is the CPPR-corrected worst pair skew: derates only apply where
 	// two sink paths actually diverge, since the shared trunk cannot be
 	// simultaneously fast and slow.
-	Skew float64
+	Skew float64 // unit: ps
 	// Pessimism is the credit CPPR recovered on the worst pair.
-	Pessimism float64
+	Pessimism float64 // unit: ps
 }
 
 // AnalyzeOCV computes variation-aware clock skew over a buffered tree. The

@@ -15,27 +15,29 @@ import (
 )
 
 // Ln9 is the 10–90 % slew conversion factor for RC wires.
-var Ln9 = math.Log(9)
+var Ln9 = math.Log(9) // unit: 1
 
 // Report aggregates the timing and resource metrics of a clock tree.
 type Report struct {
-	MaxLatency float64 // ps, slowest source-to-sink
-	MinLatency float64 // ps
-	Skew       float64 // ps, max - min
-	MaxSlew    float64 // ps, worst sink slew
+	MaxLatency float64 // unit: ps // slowest source-to-sink
+	MinLatency float64 // unit: ps
+	Skew       float64 // unit: ps // max - min
+	MaxSlew    float64 // unit: ps // worst sink slew
 	Buffers    int
-	BufArea    float64 // µm²
-	ClockCap   float64 // fF: wire + sink pins + buffer input pins
-	WL         float64 // µm
-	MaxStgCap  float64 // fF, worst buffer stage load
+	BufArea    float64 // unit: um^2
+	ClockCap   float64 // unit: fF // wire + sink pins + buffer input pins
+	WL         float64 // unit: um
+	MaxStgCap  float64 // unit: fF // worst buffer stage load
 
-	// SinkLatency maps sink index (tree.Node.SinkIdx) to its latency.
-	SinkLatency map[int]float64
+	// SinkLatency maps sink index (tree.Node.SinkIdx) to its latency in ps.
+	SinkLatency map[int]float64 // unit: ps
 }
 
 // Analyze runs STA over the tree. The clock source drives the first stage
 // with the given input slew (sourceSlew, ps); buffers re-drive downstream
 // stages. lib resolves buffer cells by Node.BufCell.
+//
+// unit: sourceSlew ps -> _, _
 func Analyze(t *tree.Tree, lib *liberty.Library, tc tech.Tech, sourceSlew float64) (*Report, error) {
 	if t == nil || t.Root == nil {
 		return nil, fmt.Errorf("timing: nil tree")

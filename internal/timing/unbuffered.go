@@ -10,6 +10,8 @@ import (
 // Unbuffered computes pure-wire Elmore sink delays of an unbuffered tree:
 // the "Wire Delay" metric of the paper's Table 3. Returns the maximum and
 // the spread (skew) over sinks, in ps.
+//
+// unit: -> ps, ps
 func Unbuffered(t *tree.Tree, tc tech.Tech) (maxDelay, skew float64) {
 	caps := make(map[*tree.Node]float64)
 	var capOf func(n *tree.Node) float64
