@@ -12,21 +12,31 @@
 //	benchtab -table 6 -workers 8      # spread independent work over 8 cores
 //	benchtab -table smoke -workers 8  # print the flow's DEF digest (CI oracle)
 //	benchtab -table 2 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	benchtab -benchjson                            # kernel trajectory -> BENCH_4.json
+//	benchtab -benchjson -benchtiers 1000 -benchout BENCH_4.json  # CI smoke tier
 //
 // -workers parallelizes the independent units of each table (per-cluster
 // net builds inside a flow, per-cell net streams in Tables 2/3, the seven
 // builders of Table 1) without changing a single output byte; `-table
 // smoke` exists so CI can assert exactly that, by diffing the digest line
 // across worker counts.
+//
+// -benchjson bypasses the tables entirely and runs the spatial-index kernel
+// benchmarks (MST, Steinerize, k-means assignment, silhouette) at each
+// -benchtiers sink count, writing machine-readable results to -benchout.
+// Quadratic reference kernels only run on tiers ≤ -benchrefmax.
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"sllt/internal/bench"
 	"sllt/internal/cts"
@@ -41,7 +51,18 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for independent work (<=1 serial; capped at GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	benchjson := flag.Bool("benchjson", false, "run the spatial-index kernel benchmarks and write JSON instead of tables")
+	benchtiers := flag.String("benchtiers", "1000,10000,100000", "comma-separated sink tiers for -benchjson")
+	benchout := flag.String("benchout", "BENCH_4.json", "output file for -benchjson")
+	benchrefmax := flag.Int("benchrefmax", 10000, "largest tier on which the quadratic reference kernels run")
 	flag.Parse()
+
+	if *benchjson {
+		if err := runBenchJSON(*benchtiers, *seed, *benchrefmax, *benchout); err != nil {
+			fatal(fmt.Errorf("benchjson: %w", err))
+		}
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -154,6 +175,39 @@ func smoke(seed int64, workers int) error {
 	def := cts.ExportDEF(d, res).WriteDEF()
 	fmt.Printf("smoke def_sha256=%x bytes=%d levels=%d buffers=%d skew_ps=%.3f\n",
 		sha256.Sum256([]byte(def)), len(def), res.Levels, res.Report.Buffers, res.Report.Skew)
+	return nil
+}
+
+// runBenchJSON measures the kernel trajectory and writes the report both to
+// the console (as a table) and to out (as indented JSON for CI artifacts and
+// the committed BENCH_4.json).
+func runBenchJSON(tiersCSV string, seed int64, refMaxN int, out string) error {
+	var tiers []int
+	for _, f := range strings.Split(tiersCSV, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 2 {
+			return fmt.Errorf("bad tier %q", f)
+		}
+		tiers = append(tiers, n)
+	}
+	if len(tiers) == 0 {
+		return fmt.Errorf("no tiers")
+	}
+	rep := bench.RunKernels(tiers, seed, refMaxN)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatKernelReport(rep))
+	fmt.Printf("wrote %s\n", out)
 	return nil
 }
 

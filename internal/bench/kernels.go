@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"sllt/internal/geom"
+	"sllt/internal/partition"
+	"sllt/internal/rsmt"
+	"sllt/internal/tree"
+)
+
+// KernelResult is one (kernel, sink-tier) measurement in the BENCH_*.json
+// trajectory: the accelerated kernel's cost, and — when the tier is small
+// enough to afford the quadratic reference — the retained reference's cost
+// and the resulting speedup.
+type KernelResult struct {
+	Kernel      string  `json:"kernel"`
+	N           int     `json:"n"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	RefNsPerOp  int64   `json:"ref_ns_per_op,omitempty"`
+	RefAllocs   int64   `json:"ref_allocs_per_op,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+}
+
+// KernelReport is the top-level BENCH_*.json document.
+type KernelReport struct {
+	Schema  string         `json:"schema"`
+	Seed    int64          `json:"seed"`
+	Tiers   []int          `json:"tiers"`
+	RefMaxN int            `json:"ref_max_n"`
+	Results []KernelResult `json:"results"`
+}
+
+// randomPoints draws n points uniformly over a square whose side grows with
+// sqrt(n) so instance density stays constant across tiers (≈100 um² per
+// point), matching how real designs scale. Coordinates are snapped to the
+// placement grid like the net generator's.
+func randomPoints(n int, rng *rand.Rand) []geom.Point {
+	side := math.Sqrt(float64(n)) * 10 // unit: um
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(snap(rng.Float64()*side), snap(rng.Float64()*side))
+	}
+	return pts
+}
+
+// kernelNet wraps points into a single clock net: point 0 drives the rest.
+func kernelNet(pts []geom.Point) *tree.Net {
+	net := &tree.Net{Name: "bench", Source: pts[0]}
+	net.Sinks = make([]tree.PinSink, len(pts)-1)
+	for i := range net.Sinks {
+		net.Sinks[i] = tree.PinSink{
+			Name: fmt.Sprintf("s%d", i),
+			Loc:  pts[i+1],
+			Cap:  1.5,
+		}
+	}
+	return net
+}
+
+// kernelReps picks a deterministic repetition count per tier: enough runs to
+// smooth scheduler noise on cheap ops without making the 100k tier crawl.
+func kernelReps(n int) int {
+	switch {
+	case n <= 1000:
+		return 8
+	case n <= 10000:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// measure times reps executions of run (op(i) receives the repetition index
+// so callers can hand each rep pre-built private state) and returns ns/op
+// and heap-allocations/op. Allocations come from the runtime's Mallocs
+// counter delta — the same source testing.AllocsPerRun reads — so the
+// number is exact, not sampled.
+func measure(reps int, op func(i int)) (nsPerOp, allocsPerOp int64) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		op(i)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	r := int64(reps)
+	return elapsed.Nanoseconds() / r, int64(after.Mallocs-before.Mallocs) / r
+}
+
+// RunKernels measures the accelerated spatial kernels against their retained
+// exhaustive references at each sink tier. References are quadratic, so they
+// only run on tiers ≤ refMaxN; above that the fast column stands alone and
+// the trajectory shows absolute scaling instead of a ratio. All inputs
+// derive from seed, so reruns measure the identical workload.
+func RunKernels(tiers []int, seed int64, refMaxN int) KernelReport {
+	rep := KernelReport{
+		Schema:  "sllt-kernel-bench/v1",
+		Seed:    seed,
+		Tiers:   append([]int(nil), tiers...),
+		RefMaxN: refMaxN,
+	}
+	for _, n := range tiers {
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		pts := randomPoints(n, rng)
+		reps := kernelReps(n)
+		withRef := n <= refMaxN
+
+		// MST: grid-accelerated Prim vs the O(n²) scan.
+		res := KernelResult{Kernel: "mst", N: n}
+		res.NsPerOp, res.AllocsPerOp = measure(reps, func(int) { rsmt.MST(pts) })
+		if withRef {
+			res.RefNsPerOp, res.RefAllocs = measure(reps, func(int) { rsmt.MSTExhaustive(pts) })
+			res.Speedup = speedup(res.RefNsPerOp, res.NsPerOp)
+		}
+		rep.Results = append(rep.Results, res)
+
+		// Steinerize: candidate queue vs full-tree rescan, both starting
+		// from private clones of the same MST topology (cloning happens
+		// outside the timed region).
+		base := rsmt.MSTTree(kernelNet(pts))
+		clones := func(k int) []*tree.Tree {
+			ts := make([]*tree.Tree, k)
+			for i := range ts {
+				ts[i] = base.Clone()
+			}
+			return ts
+		}
+		res = KernelResult{Kernel: "steinerize", N: n}
+		fastTrees := clones(reps)
+		res.NsPerOp, res.AllocsPerOp = measure(reps, func(i int) { rsmt.Steinerize(fastTrees[i]) })
+		if withRef {
+			refTrees := clones(reps)
+			res.RefNsPerOp, res.RefAllocs = measure(reps, func(i int) { rsmt.SteinerizeReference(refTrees[i]) })
+			res.Speedup = speedup(res.RefNsPerOp, res.NsPerOp)
+		}
+		rep.Results = append(rep.Results, res)
+
+		// k-means assignment: one full nearest-center pass with the flow's
+		// fanout-derived cluster count, grid-indexed vs exhaustive. A short
+		// k-means run first moves the centers to realistic positions.
+		k := n / 32
+		if k < 2 {
+			k = 2
+		}
+		centers, assign := partition.KMeansP(pts, k, 2, seed, 1)
+		res = KernelResult{Kernel: "kmeans-assign", N: n}
+		fastAssign := append([]int(nil), assign...)
+		res.NsPerOp, res.AllocsPerOp = measure(reps, func(int) {
+			partition.AssignPoints(pts, centers, fastAssign, 1)
+		})
+		if withRef {
+			refAssign := append([]int(nil), assign...)
+			res.RefNsPerOp, res.RefAllocs = measure(reps, func(int) {
+				partition.AssignPointsExhaustive(pts, centers, refAssign)
+			})
+			res.Speedup = speedup(res.RefNsPerOp, res.NsPerOp)
+		}
+		rep.Results = append(rep.Results, res)
+
+		// Silhouette: stratified-sample estimator vs the exact O(n²) score.
+		res = KernelResult{Kernel: "silhouette", N: n}
+		res.NsPerOp, res.AllocsPerOp = measure(reps, func(int) {
+			partition.SilhouetteP(pts, assign, k, 1)
+		})
+		if withRef {
+			res.RefNsPerOp, res.RefAllocs = measure(reps, func(int) {
+				partition.SilhouetteExact(pts, assign, k, 1)
+			})
+			res.Speedup = speedup(res.RefNsPerOp, res.NsPerOp)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+func speedup(refNs, fastNs int64) float64 {
+	if fastNs <= 0 {
+		return 0
+	}
+	// Two decimals is plenty for a trend line and keeps the JSON diff-stable.
+	return math.Round(float64(refNs)/float64(fastNs)*100) / 100
+}
+
+// FormatKernelReport renders the report as an aligned text table for the
+// benchtab console summary.
+func FormatKernelReport(r KernelReport) string {
+	out := fmt.Sprintf("Kernel benchmarks (seed %d, ref up to n=%d)\n", r.Seed, r.RefMaxN)
+	out += fmt.Sprintf("%-14s %9s %14s %12s %14s %9s\n",
+		"kernel", "n", "ns/op", "allocs/op", "ref ns/op", "speedup")
+	for _, res := range r.Results {
+		ref, sp := "-", "-"
+		if res.RefNsPerOp > 0 {
+			ref = fmt.Sprintf("%d", res.RefNsPerOp)
+			sp = fmt.Sprintf("%.2fx", res.Speedup)
+		}
+		out += fmt.Sprintf("%-14s %9d %14d %12d %14s %9s\n",
+			res.Kernel, res.N, res.NsPerOp, res.AllocsPerOp, ref, sp)
+	}
+	return out
+}

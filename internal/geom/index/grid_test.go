@@ -1,0 +1,213 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sllt/internal/geom"
+)
+
+// bruteNearest is the oracle: ascending scan, strict-< keeps the lowest
+// index on exact ties — the rule every accelerated caller relies on.
+func bruteNearest(pts []geom.Point, q geom.Point, skip func(int) bool) (int, float64) {
+	best, bd := -1, math.Inf(1)
+	for i, p := range pts {
+		if skip != nil && skip(i) {
+			continue
+		}
+		if d := q.Dist(p); d < bd {
+			best, bd = i, d
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bd
+}
+
+func bruteNearestInOctant(pts []geom.Point, q geom.Point, oct int, skip func(int) bool) (int, float64) {
+	return bruteNearest(pts, q, func(i int) bool {
+		if skip != nil && skip(i) {
+			return true
+		}
+		return octantOf(pts[i].X-q.X, pts[i].Y-q.Y) != oct
+	})
+}
+
+func randPts(n int, rng *rand.Rand) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	return pts
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 7, 50, 300} {
+		pts := randPts(n, rng)
+		g := New(pts)
+		for trial := 0; trial < 200; trial++ {
+			q := geom.Pt(rng.Float64()*120-10, rng.Float64()*120-10)
+			gi, gd := g.Nearest(q, nil)
+			bi, bd := bruteNearest(pts, q, nil)
+			if gi != bi || gd != bd {
+				t.Fatalf("n=%d q=%v: grid (%d,%g) != brute (%d,%g)", n, q, gi, gd, bi, bd)
+			}
+		}
+	}
+}
+
+func TestNearestWithSkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pts := randPts(120, rng)
+	g := New(pts)
+	skip := func(i int) bool { return i%3 == 0 }
+	for trial := 0; trial < 200; trial++ {
+		q := pts[rng.Intn(len(pts))]
+		gi, gd := g.Nearest(q, skip)
+		bi, bd := bruteNearest(pts, q, skip)
+		if gi != bi || gd != bd {
+			t.Fatalf("q=%v: grid (%d,%g) != brute (%d,%g)", q, gi, gd, bi, bd)
+		}
+	}
+	// Skipping everything must report no result.
+	if i, _ := g.Nearest(pts[0], func(int) bool { return true }); i != -1 {
+		t.Fatalf("all-skipped query returned %d, want -1", i)
+	}
+}
+
+// TestNearestLowestIndexTies uses integer coordinates so that many points sit
+// at exactly equal Manhattan distances; the grid must resolve every tie to
+// the lowest index, like the ascending scans it replaces.
+func TestNearestLowestIndexTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pts := make([]geom.Point, 400)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(rng.Intn(12)), float64(rng.Intn(12)))
+	}
+	g := New(pts)
+	for trial := 0; trial < 300; trial++ {
+		q := geom.Pt(float64(rng.Intn(14)-1), float64(rng.Intn(14)-1))
+		gi, gd := g.Nearest(q, nil)
+		bi, bd := bruteNearest(pts, q, nil)
+		if gi != bi || gd != bd {
+			t.Fatalf("q=%v: grid (%d,%g) != brute (%d,%g)", q, gi, gd, bi, bd)
+		}
+	}
+}
+
+func TestNearestWithRemovals(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	pts := randPts(250, rng)
+	g := NewRemovable(pts)
+	alive := make([]bool, len(pts))
+	for i := range alive {
+		alive[i] = true
+	}
+	skipDead := func(i int) bool { return !alive[i] }
+	order := rng.Perm(len(pts))
+	for k, victim := range order {
+		g.Remove(victim)
+		g.Remove(victim) // double removal must be a no-op
+		alive[victim] = false
+		if g.Live() != len(pts)-k-1 {
+			t.Fatalf("Live()=%d after %d removals", g.Live(), k+1)
+		}
+		q := pts[order[(k+7)%len(order)]]
+		gi, gd := g.Nearest(q, nil)
+		bi, bd := bruteNearest(pts, q, skipDead)
+		if gi != bi || gd != bd {
+			t.Fatalf("after %d removals q=%v: grid (%d,%g) != brute (%d,%g)", k+1, q, gi, gd, bi, bd)
+		}
+	}
+	if i, _ := g.Nearest(geom.Pt(0, 0), nil); i != -1 {
+		t.Fatalf("empty grid returned %d, want -1", i)
+	}
+}
+
+func TestNearestDegenerateSets(t *testing.T) {
+	cases := map[string][]geom.Point{
+		"empty":      {},
+		"single":     {geom.Pt(3, 4)},
+		"coincident": {geom.Pt(5, 5), geom.Pt(5, 5), geom.Pt(5, 5), geom.Pt(5, 5)},
+		"hline":      {geom.Pt(0, 2), geom.Pt(1, 2), geom.Pt(2, 2), geom.Pt(9, 2), geom.Pt(40, 2)},
+		"vline":      {geom.Pt(-1, 0), geom.Pt(-1, 3), geom.Pt(-1, 80), geom.Pt(-1, 81)},
+		"sliver":     {geom.Pt(0, 0), geom.Pt(10000, 1), geom.Pt(20000, 0.5), geom.Pt(5000, 0.2), geom.Pt(15000, 0.9)},
+	}
+	for name, pts := range cases {
+		g := New(pts)
+		queries := append([]geom.Point{geom.Pt(0, 0), geom.Pt(7, 7), geom.Pt(-3, 50)}, pts...)
+		for _, q := range queries {
+			gi, gd := g.Nearest(q, nil)
+			bi, bd := bruteNearest(pts, q, nil)
+			if gi != bi || gd != bd {
+				t.Fatalf("%s q=%v: grid (%d,%g) != brute (%d,%g)", name, q, gi, gd, bi, bd)
+			}
+		}
+	}
+}
+
+func TestOctantOfPartitionsPlane(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	// Every displacement (including axis and diagonal cases) must land in
+	// exactly one octant 0..7 adjacent to its ray — boundary rays belong to
+	// exactly one of their two neighboring sectors.
+	checks := []struct {
+		dx, dy float64
+		want   int
+	}{
+		{1, 0, 0}, {1, 1, 1}, {0, 1, 2}, {-1, 1, 2},
+		{-1, 0, 4}, {-1, -1, 4}, {0, -1, 6}, {1, -1, 7},
+	}
+	for _, c := range checks {
+		if got := octantOf(c.dx, c.dy); got != c.want {
+			t.Fatalf("octantOf(%g,%g)=%d, want %d", c.dx, c.dy, got, c.want)
+		}
+	}
+	if got := octantOf(0, 0); got != 0 {
+		t.Fatalf("octantOf(0,0)=%d, want 0", got)
+	}
+	for trial := 0; trial < 1000; trial++ {
+		dx, dy := rng.NormFloat64(), rng.NormFloat64()
+		oct := octantOf(dx, dy)
+		if oct < 0 || oct > 7 {
+			t.Fatalf("octantOf(%g,%g)=%d out of range", dx, dy, oct)
+		}
+	}
+}
+
+func TestNearestInOctantMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	pts := randPts(300, rng)
+	g := New(pts)
+	for trial := 0; trial < 100; trial++ {
+		qi := rng.Intn(len(pts))
+		q := pts[qi]
+		self := func(i int) bool { return i == qi }
+		for oct := 0; oct < 8; oct++ {
+			gi, gd := g.NearestInOctant(q, oct, self)
+			bi, bd := bruteNearestInOctant(pts, q, oct, self)
+			if gi != bi || gd != bd {
+				t.Fatalf("q=%v oct=%d: grid (%d,%g) != brute (%d,%g)", q, oct, gi, gd, bi, bd)
+			}
+		}
+	}
+}
+
+// TestNearestSteadyStateZeroAllocs pins the package contract that queries
+// allocate nothing: a regression here silently wrecks the MST and swap
+// kernels' constants at the 10⁵ tier.
+func TestNearestSteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := randPts(2000, rng)
+	g := New(pts)
+	q := geom.Pt(50, 50)
+	if avg := testing.AllocsPerRun(100, func() { g.Nearest(q, nil) }); avg != 0 {
+		t.Fatalf("Nearest allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { g.NearestInOctant(q, 3, nil) }); avg != 0 {
+		t.Fatalf("NearestInOctant allocates %.1f/op, want 0", avg)
+	}
+}

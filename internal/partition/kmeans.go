@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"sllt/internal/geom"
+	"sllt/internal/geom/index"
 	"sllt/internal/parallel"
 )
 
@@ -20,6 +21,32 @@ import (
 // splits. The gate only affects wall clock, never results — the parallel
 // passes are byte-identical to the serial ones by construction.
 const minParallelPoints = 2048
+
+// assignGridMinCenters gates the grid-indexed assignment pass: a grid over
+// the centers only pays off once the per-point O(k) center sweep it replaces
+// is wide enough. The gate affects wall clock only — the grid's
+// lowest-index tie rule is exactly the ascending scan's, so assignments are
+// byte-identical either way (property-tested, ties included).
+const assignGridMinCenters = 24
+
+// seedSampleThreshold is the point count above which farthest-point seeding
+// runs on a deterministic stride sample of seedSampleSize points instead of
+// the full set, bounding the O(n·k) seeding sweep at 10⁵⁺-sink levels.
+// Below the threshold seeding is exhaustive and unchanged.
+const (
+	seedSampleThreshold = 16384
+	seedSampleSize      = 4096
+)
+
+// silhouetteExactThreshold is the point count above which Silhouette scores
+// a deterministic per-cluster stratified sample of silhouetteSampleTarget
+// points instead of running the exact O(n²) scoring. Below it (which
+// includes every call the hierarchical flow makes — cts subsamples to 2500
+// first) the exact kernel runs, unchanged.
+const (
+	silhouetteExactThreshold = 4096
+	silhouetteSampleTarget   = 2048
+)
 
 // KMeans runs Lloyd's algorithm with deterministic farthest-point seeding
 // and returns the cluster centers and per-point assignment. k is clamped to
@@ -105,8 +132,16 @@ func KMeansP(pts []geom.Point, k, iters int, seed int64, workers int) ([]geom.Po
 func assignPoints(pts []geom.Point, centers []geom.Point, assign []int, workers int) bool {
 	n := len(pts)
 	workers = parallel.Clamp(workers)
+	// A grid over the centers answers each point's nearest-center query in
+	// near-constant time with the scan's exact lowest-index tie rule, so the
+	// indexed pass is byte-identical to the exhaustive one. The grid is
+	// built once here and only read inside the fan-out.
+	var g *index.Grid
+	if len(centers) >= assignGridMinCenters && n >= minParallelPoints {
+		g = index.New(centers)
+	}
 	if workers == 1 {
-		return assignRange(pts, centers, assign, 0, n)
+		return assignRange(pts, centers, assign, 0, n, g)
 	}
 	chunks := workers * 4
 	if chunks > n {
@@ -115,7 +150,7 @@ func assignPoints(pts []geom.Point, centers []geom.Point, assign []int, workers 
 	chg := make([]bool, chunks)
 	parallel.ForEach(workers, chunks, func(c int) error {
 		lo, hi := c*n/chunks, (c+1)*n/chunks
-		chg[c] = assignRange(pts, centers, assign, lo, hi)
+		chg[c] = assignRange(pts, centers, assign, lo, hi, g)
 		return nil
 	})
 	for _, c := range chg {
@@ -126,15 +161,35 @@ func assignPoints(pts []geom.Point, centers []geom.Point, assign []int, workers 
 	return false
 }
 
+// AssignPoints writes each point's nearest-center index (lowest index on
+// exact ties) into assign and reports whether any entry changed. Exported
+// for the kernel benchmarks; KMeansP uses the same pass internally.
+func AssignPoints(pts []geom.Point, centers []geom.Point, assign []int, workers int) bool {
+	return assignPoints(pts, centers, assign, workers)
+}
+
+// AssignPointsExhaustive is the retained O(n·k) reference assignment pass,
+// the oracle the grid-indexed pass is property-tested against and the
+// baseline of the BENCH_*.json speedup column.
+func AssignPointsExhaustive(pts []geom.Point, centers []geom.Point, assign []int) bool {
+	return assignRange(pts, centers, assign, 0, len(pts), nil)
+}
+
 // assignRange is the serial kernel of the assignment pass over pts[lo:hi].
-func assignRange(pts []geom.Point, centers []geom.Point, assign []int, lo, hi int) bool {
+// With a grid it queries the center index; without it, the ascending scan.
+func assignRange(pts []geom.Point, centers []geom.Point, assign []int, lo, hi int, g *index.Grid) bool {
 	changed := false
 	for i := lo; i < hi; i++ {
 		p := pts[i]
-		best, bd := 0, math.Inf(1)
-		for j, c := range centers {
-			if d := p.Dist(c); d < bd {
-				best, bd = j, d
+		best := 0
+		if g != nil {
+			best, _ = g.Nearest(p, nil)
+		} else {
+			bd := math.Inf(1)
+			for j, c := range centers {
+				if d := p.Dist(c); d < bd {
+					best, bd = j, d
+				}
 			}
 		}
 		if assign[i] != best {
@@ -145,14 +200,30 @@ func assignRange(pts []geom.Point, centers []geom.Point, assign []int, lo, hi in
 	return changed
 }
 
-// seedCenters picks k starting centers: the first at the centroid-nearest
-// point, the rest by farthest-point traversal — deterministic given rng
-// only breaks exact ties.
+// seedCenters picks k starting centers: the first at an rng-chosen point,
+// the rest by farthest-point traversal — deterministic given rng only
+// breaks exact ties. Above seedSampleThreshold points the traversal runs on
+// a deterministic stride sample (the first center is still drawn from the
+// full set with the same single rng call, so the rng stream downstream is
+// unaffected); below it the pass is exhaustive and unchanged.
 func seedCenters(pts []geom.Point, k int, rng *rand.Rand) []geom.Point {
+	first := pts[rng.Intn(len(pts))]
+	pool := pts
+	// Keep the sample at least 4× the center count so the traversal never
+	// runs out of distinct candidates.
+	if target := max(seedSampleSize, 4*k); len(pts) >= seedSampleThreshold && len(pts) > target {
+		stride := (len(pts) + target - 1) / target
+		if stride > 1 {
+			pool = make([]geom.Point, 0, len(pts)/stride+1)
+			for i := 0; i < len(pts); i += stride {
+				pool = append(pool, pts[i])
+			}
+		}
+	}
 	centers := make([]geom.Point, 0, k)
-	centers = append(centers, pts[rng.Intn(len(pts))])
-	minD := make([]float64, len(pts))
-	for i, p := range pts {
+	centers = append(centers, first)
+	minD := make([]float64, len(pool))
+	for i, p := range pool {
 		minD[i] = p.Dist(centers[0])
 	}
 	for len(centers) < k {
@@ -162,9 +233,9 @@ func seedCenters(pts []geom.Point, k int, rng *rand.Rand) []geom.Point {
 				best, bd = i, d
 			}
 		}
-		c := pts[best]
+		c := pool[best]
 		centers = append(centers, c)
-		for i, p := range pts {
+		for i, p := range pool {
 			if d := p.Dist(c); d < minD[i] {
 				minD[i] = d
 			}
@@ -197,7 +268,23 @@ func Silhouette(pts []geom.Point, assign []int, k int) float64 {
 // whole point set, so tasks write only their own slot; the mean is then
 // reduced serially in point order, giving the exact float result of the
 // serial loop for every workers value.
+//
+// Above silhouetteExactThreshold points the score is a deterministic
+// stratified-sample estimate: every cluster contributes a stride sample
+// proportional to its size, and the exact kernel runs on the sample. Below
+// the threshold the result is exact.
 func SilhouetteP(pts []geom.Point, assign []int, k, workers int) float64 {
+	if len(pts) > silhouetteExactThreshold {
+		sp, sa := stratifiedSample(pts, assign, k, silhouetteSampleTarget)
+		return SilhouetteExact(sp, sa, k, workers)
+	}
+	return SilhouetteExact(pts, assign, k, workers)
+}
+
+// SilhouetteExact is the retained exact O(n²) scorer, with the same worker
+// fan-out as SilhouetteP but no sampling at any size. It is the oracle for
+// the estimator's tests and the baseline of the BENCH_*.json speedup column.
+func SilhouetteExact(pts []geom.Point, assign []int, k, workers int) float64 {
 	n := len(pts)
 	if n == 0 || k < 2 {
 		return 0
@@ -221,6 +308,40 @@ func SilhouetteP(pts []geom.Point, assign []int, k, workers int) float64 {
 		return 0
 	}
 	return total / float64(counted)
+}
+
+// stratifiedSample picks ~target points, each cluster contributing a stride
+// sample (ascending member order) proportional to its share of the points.
+// Fully deterministic: no randomness, and the returned points keep their
+// ascending original order so downstream float reductions are stable.
+func stratifiedSample(pts []geom.Point, assign []int, k, target int) ([]geom.Point, []int) {
+	n := len(pts)
+	if n <= target {
+		return pts, assign
+	}
+	members := make([][]int32, k)
+	for i, a := range assign {
+		members[a] = append(members[a], int32(i))
+	}
+	picked := make([]int32, 0, target+k)
+	for _, mem := range members {
+		if len(mem) == 0 {
+			continue
+		}
+		want := (len(mem)*target + n - 1) / n // ceil: every cluster is represented
+		stride := (len(mem) + want - 1) / want
+		for i := 0; i < len(mem); i += stride {
+			picked = append(picked, mem[i])
+		}
+	}
+	sort.Slice(picked, func(a, b int) bool { return picked[a] < picked[b] })
+	sp := make([]geom.Point, len(picked))
+	sa := make([]int, len(picked))
+	for i, idx := range picked {
+		sp[i] = pts[idx]
+		sa[i] = assign[idx]
+	}
+	return sp, sa
 }
 
 // silhouetteOf computes point i's silhouette coefficient, or the unscored

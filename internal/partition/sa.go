@@ -6,7 +6,17 @@ import (
 	"sort"
 
 	"sllt/internal/geom"
+	"sllt/internal/geom/index"
 )
+
+// saGridThreshold is the instance count at which the annealer's
+// nearest-other-net query switches from the all-members scan to a grid
+// expanding-ring query. Below it (every level the golden-path designs
+// produce) the scan runs unchanged; above it the grid keeps each move
+// near-O(1) instead of O(n). The two resolve exact distance ties
+// differently (scan: lowest cluster then member order; grid: lowest
+// instance index), which is why the fast path sits behind the threshold.
+const saGridThreshold = 2048
 
 // SAOptions configures simulated-annealing partition refinement.
 type SAOptions struct {
@@ -49,6 +59,13 @@ type clusterState struct {
 	capSum  float64
 	bbox    geom.Rect
 	cx, cy  float64 // coordinate sums for the centroid
+
+	// Memoized per-cluster geometry, recomputed lazily from the member set
+	// after a membership change. Both derive deterministically from the
+	// sorted members, so a cached value is bit-identical to a recompute —
+	// the caches change wall clock, never results.
+	hull   []geom.Point // convex hull of member locations; nil when stale
+	radius float64      // unit: um // netDelayProxy value; < 0 when stale
 }
 
 // insert adds i to the sorted member set (no-op if present).
@@ -60,6 +77,7 @@ func (c *clusterState) insert(i int) {
 	c.members = append(c.members, 0)
 	copy(c.members[pos+1:], c.members[pos:])
 	c.members[pos] = i
+	c.hull, c.radius = nil, -1
 }
 
 // remove deletes i from the sorted member set (no-op if absent).
@@ -69,6 +87,7 @@ func (c *clusterState) remove(i int) {
 		return
 	}
 	c.members = append(c.members[:pos], c.members[pos+1:]...)
+	c.hull, c.radius = nil, -1
 }
 
 // saState is the annealing state over a whole partition.
@@ -78,16 +97,23 @@ type saState struct {
 	assign   []int
 	clusters []*clusterState
 	opt      SAOptions
+	// grid indexes the (fixed) instance locations for nearestOtherNet on
+	// large levels; nil below saGridThreshold. Moves change only assign, so
+	// the index never needs rebuilding.
+	grid *index.Grid
 }
 
 func newSAState(pts []geom.Point, caps []float64, k int, assign []int, opt SAOptions) *saState {
 	st := &saState{pts: pts, caps: caps, assign: append([]int(nil), assign...), opt: opt}
 	st.clusters = make([]*clusterState, k)
 	for j := range st.clusters {
-		st.clusters[j] = &clusterState{bbox: geom.EmptyRect()}
+		st.clusters[j] = &clusterState{bbox: geom.EmptyRect(), radius: -1}
 	}
 	for i := range pts {
 		st.addTo(assign[i], i)
+	}
+	if len(pts) >= saGridThreshold {
+		st.grid = index.New(pts)
 	}
 	return st
 }
@@ -129,11 +155,17 @@ func (st *saState) netWL(j int) float64 {
 }
 
 // netDelayProxy is the T_j term: the cluster radius (max member distance
-// from the centroid), which tracks the net's max driver-to-sink delay.
+// from the centroid), which tracks the net's max driver-to-sink delay. The
+// value is memoized on the cluster: Cost() evaluates every cluster each
+// annealing move, but only the two clusters the move touched changed.
 func (st *saState) netDelayProxy(j int) float64 {
 	c := st.clusters[j]
+	if c.radius >= 0 {
+		return c.radius
+	}
 	n := len(c.members)
 	if n == 0 {
+		c.radius = 0
 		return 0
 	}
 	ctr := geom.Pt(c.cx/float64(n), c.cy/float64(n))
@@ -143,6 +175,7 @@ func (st *saState) netDelayProxy(j int) float64 {
 			r = d
 		}
 	}
+	c.radius = r
 	return r
 }
 
@@ -289,19 +322,22 @@ func (st *saState) pickHullInstance(j int, rng *rand.Rand) int {
 	if len(c.members) <= 1 {
 		return -1
 	}
-	locs := make([]geom.Point, len(c.members))
-	for idx, m := range c.members {
-		locs[idx] = st.pts[m]
+	if c.hull == nil {
+		locs := make([]geom.Point, len(c.members))
+		for idx, m := range c.members {
+			locs[idx] = st.pts[m]
+		}
+		c.hull = geom.ConvexHull(locs)
 	}
-	hull := geom.ConvexHull(locs)
-	if len(hull) == 0 {
+	if len(c.hull) == 0 {
 		return -1
 	}
-	// c.members is sorted, so co-located members resolve to the lowest
-	// index — the same instance every run.
-	target := hull[rng.Intn(len(hull))]
-	for idx, m := range c.members {
-		if locs[idx].Eq(target) {
+	// The memoized hull is rebuilt from the same sorted member set the old
+	// code walked, so the rng.Intn stream and the chosen vertex are
+	// unchanged; co-located members still resolve to the lowest index.
+	target := c.hull[rng.Intn(len(c.hull))]
+	for _, m := range c.members {
+		if st.pts[m].Eq(target) {
 			return m
 		}
 	}
@@ -309,8 +345,19 @@ func (st *saState) pickHullInstance(j int, rng *rand.Rand) int {
 }
 
 // nearestOtherNet returns the cluster (≠ from) whose nearest member is
-// closest to point i.
+// closest to point i. Above saGridThreshold the answer comes from one
+// expanding-ring query over the instance grid (skipping members of from —
+// including i itself, whose assignment is still from at call time); below
+// it the original all-members scan runs unchanged.
 func (st *saState) nearestOtherNet(i, from int) int {
+	if st.grid != nil {
+		q := st.pts[i]
+		j, _ := st.grid.Nearest(q, func(m int) bool { return st.assign[m] == from })
+		if j < 0 {
+			return -1
+		}
+		return st.assign[j]
+	}
 	best, bd := -1, math.Inf(1)
 	for j := range st.clusters {
 		if j == from || len(st.clusters[j].members) == 0 {

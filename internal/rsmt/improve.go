@@ -2,8 +2,14 @@ package rsmt
 
 import (
 	"sllt/internal/geom"
+	"sllt/internal/geom/index"
 	"sllt/internal/tree"
 )
+
+// swapGridThreshold is the node count at which edge swapping switches from
+// the exhaustive all-pairs scan to grid-backed candidate queries. Flow-level
+// cluster nets stay below it, keeping their outputs byte-identical.
+const swapGridThreshold = 96
 
 // Improve runs unconstrained wirelength local search on t: alternating
 // edge swaps (reattach a subtree to the nearest non-descendant vertex when
@@ -21,42 +27,127 @@ func Improve(t *tree.Tree) {
 	}
 }
 
-// edgeSwapOnce scans all (vertex, candidate-parent) pairs and applies every
-// profitable reattachment it finds in one sweep, refreshing subtree
-// intervals after each apply.
+// edgeSwapOnce applies every profitable reattachment it finds, best-first,
+// until none remains, and reports the number of accepted moves. Small trees
+// run the exhaustive all-pairs scan; large ones answer each vertex's
+// best-candidate-parent question with a grid nearest-neighbor query instead
+// of a full sweep.
 func edgeSwapOnce(t *tree.Tree) int {
-	moves := 0
-	for {
-		nodes := t.Nodes()
-		index := make(map[*tree.Node]int, len(nodes))
-		last := make(map[*tree.Node]int, len(nodes))
-		i := 0
-		var number func(n *tree.Node)
-		number = func(n *tree.Node) {
-			index[n] = i
-			i++
-			for _, c := range n.Children {
-				number(c)
-			}
-			last[n] = i
-		}
-		number(t.Root)
-		inSub := func(w, v *tree.Node) bool { return index[w] >= index[v] && index[w] < last[v] }
+	nodes := t.Nodes()
+	if len(nodes) >= swapGridThreshold {
+		return edgeSwapGrid(t, nodes)
+	}
+	return edgeSwapScan(t, nodes)
+}
 
+// swapOrder renumbers the tree into order/last: order is the current
+// preorder, and a node at position p roots the subtree order[p:last[p]].
+// Both slices are reused across iterations — the bookkeeping the old
+// implementation rebuilt as fresh maps inside every retry of the inner loop
+// is now two O(n) slice passes with zero allocation.
+func swapOrder(t *tree.Tree, order []*tree.Node, last []int) ([]*tree.Node, []int) {
+	order, last = order[:0], last[:0]
+	var number func(n *tree.Node)
+	number = func(n *tree.Node) {
+		pos := len(order)
+		order = append(order, n)
+		last = append(last, 0)
+		for _, c := range n.Children {
+			number(c)
+		}
+		last[pos] = len(order)
+	}
+	number(t.Root)
+	return order, last
+}
+
+// edgeSwapScan is the retained exhaustive kernel: every (vertex, candidate
+// parent) pair is scored each round, the single best reattachment applied,
+// and the preorder intervals refreshed. Scan order and tie-breaking are
+// identical to the original implementation (preorder, first strict
+// improvement wins), so outputs are unchanged.
+func edgeSwapScan(t *tree.Tree, nodes []*tree.Node) int {
+	moves := 0
+	order := make([]*tree.Node, 0, len(nodes))
+	last := make([]int, 0, len(nodes))
+	for {
+		order, last = swapOrder(t, order, last)
 		var bestV, bestW *tree.Node
 		bestGain := geom.Eps
-		for _, v := range nodes {
+		for vp, v := range order {
 			if v.Parent == nil {
 				continue
 			}
 			cur := v.Parent.Loc.Dist(v.Loc)
-			for _, w := range nodes {
-				if w == v.Parent || inSub(w, v) {
+			for wp, w := range order {
+				if w == v.Parent || (wp >= vp && wp < last[vp]) {
 					continue
 				}
 				if gain := cur - w.Loc.Dist(v.Loc); gain > bestGain {
 					bestGain, bestV, bestW = gain, v, w
 				}
+			}
+		}
+		if bestV == nil {
+			break
+		}
+		bestV.Detach()
+		bestW.AddChild(bestV)
+		moves++
+	}
+	if moves > 0 {
+		tree.LegalizeSinkLeaves(t)
+	}
+	return moves
+}
+
+// edgeSwapGrid mirrors edgeSwapScan on large trees: for each vertex the best
+// candidate parent is by definition the nearest valid vertex (gain = current
+// edge − candidate distance), so one expanding-ring query per vertex replaces
+// the O(n) sweep. Node locations never change during swapping — moves only
+// relink — so the grid is built once per call. Results match the scan except
+// for exact-tie candidate choices (grid: lowest build index; scan: first in
+// preorder), which is why the fast path sits behind swapGridThreshold.
+func edgeSwapGrid(t *tree.Tree, nodes []*tree.Node) int {
+	moves := 0
+	locs := make([]geom.Point, len(nodes))
+	id := make(map[*tree.Node]int, len(nodes))
+	for i, n := range nodes {
+		locs[i] = n.Loc
+		id[n] = i
+	}
+	g := index.New(locs)
+	order := make([]*tree.Node, 0, len(nodes))
+	last := make([]int, 0, len(nodes))
+	pos := make([]int, len(nodes)) // build index -> current preorder position
+	for {
+		order, last = swapOrder(t, order, last)
+		for p, n := range order {
+			pos[id[n]] = p
+		}
+		var bestV, bestW *tree.Node
+		bestGain := geom.Eps
+		for vp, v := range order {
+			if v.Parent == nil {
+				continue
+			}
+			cur := v.Parent.Loc.Dist(v.Loc)
+			if cur-bestGain <= 0 {
+				continue // even a zero-length edge cannot beat the incumbent
+			}
+			parent, sublo, subhi := v.Parent, vp, last[vp]
+			j, d := g.Nearest(v.Loc, func(w int) bool {
+				if nodes[w] == parent {
+					return true
+				}
+				wp := pos[w]
+				return wp >= sublo && wp < subhi
+			})
+			if j < 0 {
+				continue
+			}
+			if gain := cur - d; gain > bestGain {
+				bestGain, bestV, bestW = gain, v, nodes[j]
 			}
 		}
 		if bestV == nil {

@@ -1,0 +1,142 @@
+package rsmt
+
+import (
+	"sllt/internal/geom"
+	"sllt/internal/geom/index"
+)
+
+// mstGridThreshold is the point count at which MST switches from the
+// exhaustive O(n²) Prim to the grid-accelerated variant. Flow-level clock
+// nets stay below it (MaxFanout caps clusters at a few dozen pins), so the
+// hierarchical flow's outputs are untouched; the fast path serves the
+// full-net wirelength references and the 10⁴–10⁵-sink kernel tiers.
+const mstGridThreshold = 64
+
+// mstCand is one cut-edge candidate: tree point `from` (added at position
+// `ord`) to non-tree point `v` at Manhattan distance d. An entry whose v has
+// since joined the tree is stale, and its d is then a lower bound on from's
+// true nearest-neighbor distance (removals only eliminate competitors) — it
+// gets repaired with a fresh grid query when it surfaces.
+type mstCand struct {
+	d    float64 // unit: um
+	v    int32
+	ord  int32
+	from int32
+}
+
+// candLess orders candidates by (distance, non-tree index, tree-point
+// addition order) — exactly the tie rules of the exhaustive Prim: the
+// lowest-index unvisited point among the minima is picked, and it attaches
+// to the earliest-added tree point at that distance.
+func candLess(a, b mstCand) bool {
+	//slltlint:ignore floatcmp exact comparisons implement the exhaustive Prim tie order
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	if a.v != b.v {
+		return a.v < b.v
+	}
+	return a.ord < b.ord
+}
+
+// candPush / candPop are a concrete binary min-heap over mstCand — the
+// container/heap protocol would box every candidate through interface{} and
+// dispatch every comparison indirectly, which profiles as a measurable slice
+// of the MST kernel at the 10⁵ tier.
+func candPush(h *[]mstCand, c mstCand) {
+	s := append(*h, c)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !candLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func candPop(h *[]mstCand) mstCand {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && candLess(s[r], s[l]) {
+			m = r
+		}
+		if !candLess(s[m], s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return top
+}
+
+// mstGrid is Prim's algorithm with a removable grid over the non-tree
+// points. Each tree point keeps one candidate in the heap: either its exact
+// nearest remaining non-tree point (fresh grid query) or a stale lower-bound
+// entry left over from an accepted edge. Stale entries are repaired on pop;
+// alive entries are exact, so the popped alive minimum is the true minimum
+// cut edge, and the heap's tie order reproduces the exhaustive Prim's parent
+// array byte-for-byte (property-tested in equivalence_test.go, ties
+// included). Deferring the repair this way means most tree points never pay
+// a second query: their lower-bound entry sinks and the run ends first.
+//
+// Expected time is O(n log n) on the near-uniform point sets clock levels
+// produce: every accepted edge costs one expanding-ring query plus O(log n)
+// heap work, grid compaction keeps ring walks at ~1 live point per cell as
+// the set drains, and repairs amortize the same way.
+func mstGrid(pts []geom.Point) []int {
+	n := len(pts)
+	parent := make([]int, n)
+	if n == 0 {
+		return parent
+	}
+	parent[0] = -1
+	if n == 1 {
+		return parent
+	}
+	g := index.NewRemovable(pts)
+	g.Remove(0)
+	inTree := make([]bool, n)
+	inTree[0] = true
+
+	h := make([]mstCand, 0, n)
+	if j, d := g.Nearest(pts[0], nil); j >= 0 {
+		candPush(&h, mstCand{d: d, v: int32(j), ord: 0, from: 0})
+	}
+	for added := 1; added < n && len(h) > 0; {
+		c := candPop(&h)
+		if inTree[c.v] {
+			// Stale lower bound: repair with an exact query and re-queue.
+			if j, d := g.Nearest(pts[c.from], nil); j >= 0 {
+				candPush(&h, mstCand{d: d, v: int32(j), ord: c.ord, from: c.from})
+			}
+			continue
+		}
+		v := int(c.v)
+		parent[v] = int(c.from)
+		inTree[v] = true
+		g.Remove(v)
+		added++
+		// The new tree point needs an exact candidate; the extended one keeps
+		// its consumed entry as a stale lower bound (v just left the set, so
+		// from's next-nearest distance is ≥ c.d).
+		if j, d := g.Nearest(pts[v], nil); j >= 0 {
+			candPush(&h, mstCand{d: d, v: int32(j), ord: int32(added - 1), from: c.v})
+		}
+		candPush(&h, c)
+	}
+	return parent
+}

@@ -43,11 +43,25 @@ func Build(net *tree.Net) *tree.Tree {
 // denominator used by tree.Measure callers.
 func WL(net *tree.Net) float64 { return Build(net).Wirelength() }
 
-// MST computes a minimum spanning tree over pts under Manhattan distance
-// using Prim's algorithm and returns the parent index of each point, with
-// parent[0] == -1 (point 0 is the root). O(n²) time, which is exact and fast
-// for clock-net sizes (tens of pins).
+// MST computes a minimum spanning tree over pts under Manhattan distance and
+// returns the parent index of each point, with parent[0] == -1 (point 0 is
+// the root). Below mstGridThreshold it runs the exhaustive O(n²) Prim, which
+// is exact and fast for clock-net sizes (tens of pins); above it the
+// grid-accelerated Prim takes over, returning the identical parent array
+// (see mstGrid) in near-linear time.
 func MST(pts []geom.Point) []int {
+	if len(pts) < mstGridThreshold {
+		return MSTExhaustive(pts)
+	}
+	return mstGrid(pts)
+}
+
+// MSTExhaustive is the retained O(n²) Prim reference: the lowest-index
+// unvisited point among the minima is picked each round, and ties for a
+// point's best tree neighbor keep the earliest-added one. MST's grid path is
+// defined — and property-tested — as byte-identical to this kernel; it also
+// anchors the speedup column of the BENCH_*.json trajectory.
+func MSTExhaustive(pts []geom.Point) []int {
 	n := len(pts)
 	parent := make([]int, n)
 	if n == 0 {
@@ -99,30 +113,58 @@ func MSTWL(pts []geom.Point) float64 {
 	return wl
 }
 
+// MSTTree returns the rooted MST routing tree over the net with no
+// Steinerization or local search applied — the shared starting point for the
+// Steinerize/Improve kernels and their benchmarks.
+func MSTTree(net *tree.Net) *tree.Tree {
+	pts := make([]geom.Point, 0, len(net.Sinks)+1)
+	pts = append(pts, net.Source)
+	pts = append(pts, net.SinkPoints()...)
+	return treeFromParents(net, pts, MST(pts))
+}
+
 // treeFromParents converts a parent-index array over [source, sinks...] into
-// a rooted tree.Tree.
+// a rooted tree.Tree. Children are attached in a single breadth-first pass
+// (O(n), replacing the old repeated-scan loop): bucketing child indices in
+// ascending order and draining parents in BFS rounds reproduces exactly the
+// child ordering the round-based attachment produced — every node's children
+// arrive in ascending point index.
 func treeFromParents(net *tree.Net, pts []geom.Point, parent []int) *tree.Tree {
 	t := tree.New(net.Source)
-	nodes := make([]*tree.Node, len(pts))
+	n := len(pts)
+	nodes := make([]*tree.Node, n)
 	nodes[0] = t.Root
-	for i := 1; i < len(pts); i++ {
+	for i := 1; i < n; i++ {
 		nodes[i] = net.SinkNode(i - 1)
 	}
-	// Attach children in an order that guarantees parents are linked first.
-	attached := make([]bool, len(pts))
-	attached[0] = true
-	for remaining := len(pts) - 1; remaining > 0; {
-		progress := false
-		for i := 1; i < len(pts); i++ {
-			if !attached[i] && attached[parent[i]] {
-				nodes[parent[i]].AddChild(nodes[i])
-				attached[i] = true
-				remaining--
-				progress = true
-			}
+	// Bucket children per parent, ascending child index.
+	childCount := make([]int32, n)
+	for i := 1; i < n; i++ {
+		if p := parent[i]; p >= 0 {
+			childCount[p]++
 		}
-		if !progress {
-			break // disconnected parent array; should not happen
+	}
+	children := make([][]int32, n)
+	backing := make([]int32, 0, n-1)
+	off := 0
+	for p, c := range childCount {
+		children[p] = backing[off:off : off+int(c)]
+		off += int(c)
+	}
+	for i := 1; i < n; i++ {
+		if p := parent[i]; p >= 0 {
+			children[p] = append(children[p], int32(i))
+		}
+	}
+	// BFS from the root; unreachable entries of a malformed parent array are
+	// simply never attached, matching the old loop's tolerance.
+	queue := make([]int32, 0, n)
+	queue = append(queue, 0)
+	for head := 0; head < len(queue); head++ {
+		p := queue[head]
+		for _, c := range children[p] {
+			nodes[p].AddChild(nodes[c])
+			queue = append(queue, c)
 		}
 	}
 	return t
@@ -135,8 +177,29 @@ func treeFromParents(net *tree.Net, pts []geom.Point, parent []int) *tree.Tree {
 //
 // Both sink-parent legality and redundancy cleanup are preserved: Steiner
 // insertion only happens below nodes with >= 2 children.
+//
+// Below steinerQueueThreshold nodes the exhaustive per-move rescan runs
+// (retained as SteinerizeReference); above it a candidate priority queue
+// applies the same greedy moves while re-evaluating only pairs whose
+// endpoints the last accepted move touched.
 func Steinerize(t *tree.Tree) {
 	tree.LegalizeSinkLeaves(t)
+	if len(t.Nodes()) >= steinerQueueThreshold {
+		steinerizeQueue(t)
+		return
+	}
+	steinerizeScan(t)
+}
+
+// SteinerizeReference is the retained exhaustive kernel: a full-tree rescan
+// for the best move after every accepted insertion. It anchors the
+// Steinerize equivalence property tests and the BENCH_*.json speedup column.
+func SteinerizeReference(t *tree.Tree) {
+	tree.LegalizeSinkLeaves(t)
+	steinerizeScan(t)
+}
+
+func steinerizeScan(t *tree.Tree) {
 	for {
 		n, a, b, gain := bestSteinerMove(t)
 		if gain <= geom.Eps {

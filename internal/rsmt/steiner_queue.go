@@ -1,0 +1,109 @@
+package rsmt
+
+import (
+	"container/heap"
+
+	"sllt/internal/geom"
+	"sllt/internal/tree"
+)
+
+// steinerQueueThreshold is the node count at which Steinerize switches from
+// the exhaustive rescan to the candidate queue. Flow-level cluster nets stay
+// below it, keeping their outputs byte-identical to the reference.
+const steinerQueueThreshold = 96
+
+// steinerMove is one candidate insertion: children a, b of n replaced by a
+// median Steiner point. The gain is fixed while the pair stays valid (it
+// depends only on the three locations and the two child edge lengths, all of
+// which change only when a reattachment invalidates the pair).
+type steinerMove struct {
+	gain    float64 // unit: um
+	seq     int
+	n, a, b *tree.Node
+}
+
+// moveHeap is a max-heap on (gain, insertion sequence): the largest saving
+// first, ties to the earliest-discovered pair, so the apply order — and
+// therefore the final tree — is deterministic.
+type moveHeap []steinerMove
+
+func (h moveHeap) Len() int { return len(h) }
+func (h moveHeap) Less(i, j int) bool {
+	//slltlint:ignore floatcmp exact comparison keeps the deterministic (gain, seq) apply order
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].seq < h[j].seq
+}
+func (h moveHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *moveHeap) Push(x interface{}) { *h = append(*h, x.(steinerMove)) }
+func (h *moveHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// steinerizeQueue runs the same greedy loop as steinerizeScan — always apply
+// the highest-gain median insertion — but instead of rescanning the whole
+// tree after every accepted move it keeps all profitable (node, child-pair)
+// candidates in a priority queue. A pop is valid iff both children still
+// hang under the node (a lazy-deletion stamp: any move that touched an
+// endpoint reparented it, invalidating the entry for free); an applied move
+// enqueues only the pairs it created — the new Steiner point with each
+// remaining sibling, and the relocated pair beneath it. Gains never change
+// while a pair is valid, so the valid heap top is exactly the full rescan's
+// best move, and on tie-free inputs the two kernels produce the identical
+// tree (the equivalence property test compares canonical forms).
+func steinerizeQueue(t *tree.Tree) {
+	h := moveHeap(make([]steinerMove, 0, 4*len(t.Nodes())))
+	seq := 0
+	stage := func(n, a, b *tree.Node) (steinerMove, bool) {
+		s := median3(n.Loc, a.Loc, b.Loc)
+		g := a.EdgeLen + b.EdgeLen - (n.Loc.Dist(s) + s.Dist(a.Loc) + s.Dist(b.Loc))
+		if g <= geom.Eps {
+			return steinerMove{}, false
+		}
+		m := steinerMove{gain: g, seq: seq, n: n, a: a, b: b}
+		seq++
+		return m, true
+	}
+	t.Walk(func(v *tree.Node) bool {
+		for i := 0; i < len(v.Children); i++ {
+			for j := i + 1; j < len(v.Children); j++ {
+				if m, ok := stage(v, v.Children[i], v.Children[j]); ok {
+					h = append(h, m)
+				}
+			}
+		}
+		return true
+	})
+	heap.Init(&h)
+	for h.Len() > 0 {
+		m := heap.Pop(&h).(steinerMove)
+		if m.a.Parent != m.n || m.b.Parent != m.n {
+			continue // a later move reparented an endpoint; entry is dead
+		}
+		s := median3(m.n.Loc, m.a.Loc, m.b.Loc)
+		m.a.Detach()
+		m.b.Detach()
+		st := tree.NewNode(tree.Steiner, s)
+		m.n.AddChild(st)
+		st.AddChild(m.a)
+		st.AddChild(m.b)
+		// Only pairs with a touched endpoint need (re-)evaluation: the new
+		// Steiner child against each surviving sibling, and the moved pair.
+		for _, c := range m.n.Children {
+			if c == st {
+				continue
+			}
+			if nm, ok := stage(m.n, c, st); ok {
+				heap.Push(&h, nm)
+			}
+		}
+		if nm, ok := stage(st, m.a, m.b); ok {
+			heap.Push(&h, nm)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package tree
 
 import (
+	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"sllt/internal/geom"
 )
@@ -131,6 +134,36 @@ func closestPair(nodes []*Node) (int, int) {
 		}
 	}
 	return bi, bj
+}
+
+// Fingerprint returns a canonical string encoding of the tree: kinds,
+// locations, sink indices and edge lengths, with every node's children
+// serialized in sorted order. Two trees have equal fingerprints iff they are
+// structurally identical up to sibling ordering — the comparison the
+// equivalence property tests use to assert that an accelerated kernel built
+// the same tree as its exhaustive reference.
+func Fingerprint(t *Tree) string {
+	if t == nil || t.Root == nil {
+		return ""
+	}
+	var enc func(n *Node) string
+	enc = func(n *Node) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "(%d:%.9g,%.9g:%.9g:%d", int(n.Kind), n.Loc.X, n.Loc.Y, n.EdgeLen, n.SinkIdx)
+		if len(n.Children) > 0 {
+			kids := make([]string, len(n.Children))
+			for i, c := range n.Children {
+				kids[i] = enc(c)
+			}
+			sort.Strings(kids)
+			for _, k := range kids {
+				b.WriteString(k)
+			}
+		}
+		b.WriteString(")")
+		return b.String()
+	}
+	return enc(t.Root)
 }
 
 // SplitEdge inserts a Steiner node on the wire from n's parent to n at the
