@@ -48,6 +48,7 @@ func main() {
 	nets := flag.Int("nets", 400, "random nets per cell for tables 2/3 (paper: 10000)")
 	seed := flag.Int64("seed", 1, "seed")
 	scale := flag.Float64("scale", 1.0, "design size scale factor for tables 6/7")
+	stages := flag.Bool("stages", false, "append a per-stage wall-clock table to tables 6/7 (runs with observability on; QoR columns unchanged)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for independent work (<=1 serial; capped at GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -118,17 +119,24 @@ func main() {
 		fmt.Println(bench.FormatTable3(cells, cfg))
 		return nil
 	})
-	run("6", func() error {
-		specs := scaleAll(bench.Table6Specs(), *scale)
-		results := bench.RunFlows(specs, *seed, *workers)
-		fmt.Println(bench.FormatFlowTable("Table 6: clock tree solutions on open designs", results))
+	flowTable := func(title string, specs []designgen.Spec) error {
+		var results []bench.FlowResult
+		if *stages {
+			results = bench.RunFlowsObs(specs, *seed, *workers)
+		} else {
+			results = bench.RunFlows(specs, *seed, *workers)
+		}
+		fmt.Println(bench.FormatFlowTable(title, results))
+		if *stages {
+			fmt.Println(bench.FormatStageTable("Per-stage wall clock", results))
+		}
 		return nil
+	}
+	run("6", func() error {
+		return flowTable("Table 6: clock tree solutions on open designs", scaleAll(bench.Table6Specs(), *scale))
 	})
 	run("7", func() error {
-		specs := scaleAll(bench.Table7Specs(), *scale)
-		results := bench.RunFlows(specs, *seed, *workers)
-		fmt.Println(bench.FormatFlowTable("Table 7: clock tree solutions on ysyx designs", results))
-		return nil
+		return flowTable("Table 7: clock tree solutions on ysyx designs", scaleAll(bench.Table7Specs(), *scale))
 	})
 	// smoke is not part of "all": it is the parallel-determinism oracle. It
 	// synthesizes one Table-4-class design with the requested worker count

@@ -5,10 +5,16 @@
 //
 //	slltcts -lef design.lef -def design.def [-net clk] [-engine ours|commercial|openroad]
 //	        [-out cts.def] [-skew 80] [-fanout 32] [-cap 150] [-workers N]
+//	        [-report run.json] [-trace run.trace]
 //
 // -workers spreads the independent per-cluster net builds of each level
 // over N goroutines. The output DEF is byte-identical for every value —
 // parallelism here changes wall clock, never the tree.
+//
+// -report writes the machine-readable run report (schema
+// "sllt.obs.report/v1": stage span tree, kernel counters, per-level QoR;
+// see internal/obs) and -trace a human-readable span breakdown. Either
+// flag enables observability; neither changes a byte of the DEF output.
 //
 // The engine names select the paper's flow ("ours", CBS-based) or one of
 // the two baseline proxies used in Tables 6/7.
@@ -25,6 +31,7 @@ import (
 	"sllt/internal/cts"
 	"sllt/internal/design"
 	"sllt/internal/lefdef"
+	"sllt/internal/obs"
 )
 
 func main() {
@@ -38,6 +45,8 @@ func main() {
 	maxCap := flag.Float64("cap", 150, "max stage capacitance, fF")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for per-cluster builds (<=1 serial; output is identical for any value)")
+	reportPath := flag.String("report", "", "write the run report (canonical JSON, schema sllt.obs.report/v1) to this file")
+	tracePath := flag.String("trace", "", "write a human-readable stage trace to this file")
 	flag.Parse()
 
 	if *lefPath == "" || *defPath == "" {
@@ -71,6 +80,9 @@ func main() {
 	opts.Cons.MaxCap = *maxCap
 	opts.Seed = *seed
 	opts.Workers = *workers
+	if *reportPath != "" || *tracePath != "" {
+		opts.Obs = obs.New(nil)
+	}
 
 	fmt.Printf("slltcts: %s — %d instances, %d clock sinks, die %.0fx%.0f um\n",
 		d.Name, len(d.Insts), d.NumFFs(), d.Die.W(), d.Die.H())
@@ -92,9 +104,26 @@ func main() {
 	fmt.Printf("runtime       : %.2f s\n", rt.Seconds())
 
 	if *outPath != "" {
-		out := cts.ExportDEF(d, res)
-		fatal(os.WriteFile(*outPath, []byte(out.WriteDEF()), 0o644))
+		out, err := cts.ExportDEFFile(*outPath, d, res)
+		fatal(err)
 		fmt.Printf("wrote %s (%d components, %d nets)\n", *outPath, len(out.Components), len(out.Nets))
+	}
+
+	if opts.Obs.Enabled() {
+		rep := opts.Obs.Snapshot()
+		if *reportPath != "" {
+			data, err := rep.JSON()
+			fatal(err)
+			fatal(os.WriteFile(*reportPath, data, 0o644))
+			fmt.Printf("wrote %s (report, %d bytes)\n", *reportPath, len(data))
+		}
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			fatal(err)
+			fatal(rep.WriteTrace(f))
+			fatal(f.Close())
+			fmt.Printf("wrote %s (trace)\n", *tracePath)
+		}
 	}
 }
 

@@ -10,9 +10,16 @@ import (
 // A Unit is a product of base dimensions with integer exponents. The base
 // dimensions mirror the repository's unit system (internal/tech doc):
 //
-//	ps  time
+//	ps  time (algorithmic: delays, slews, skew)
 //	fF  capacitance
 //	um  length
+//	ns  wall-clock time (observability spans)
+//
+// ns is deliberately its OWN base dimension, not a scaled ps: span
+// timestamps from internal/obs measure the flow's execution, never its
+// electrical behavior, and must not silently add to or compare against
+// Elmore-domain picoseconds. Mixing them is exactly the bug class this
+// analyzer exists to catch.
 //
 // Resistance is not a base dimension: the system is chosen so that
 // 1 kΩ · 1 fF = 1 ps, which makes kohm ≡ ps/fF definitionally — exactly the
@@ -32,11 +39,12 @@ var baseUnits = map[string]Unit{
 	"kohm": {"ps": 1, "fF": -1},
 	"kOhm": {"ps": 1, "fF": -1},
 	"kΩ":   {"ps": 1, "fF": -1},
+	"ns":   {"ns": 1},
 	"1":    {},
 }
 
 // dimOrder fixes the rendering order of dimensions in diagnostics.
-var dimOrder = []string{"ps", "fF", "um"}
+var dimOrder = []string{"ps", "fF", "um", "ns"}
 
 // Mul returns the product unit (exponents add).
 func (u Unit) Mul(v Unit) Unit {
@@ -237,7 +245,7 @@ func parseTerm(t string) (Unit, error) {
 	}
 	base, ok := baseUnits[t]
 	if !ok {
-		return nil, fmt.Errorf("unknown unit %q (known: ps, fF, um/µm, kohm/kΩ, 1)", t)
+		return nil, fmt.Errorf("unknown unit %q (known: ps, fF, um/µm, kohm/kΩ, ns, 1)", t)
 	}
 	out := make(Unit, len(base))
 	for d, e := range base {

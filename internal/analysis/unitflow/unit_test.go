@@ -62,6 +62,8 @@ func TestParseUnit(t *testing.T) {
 		{"ps*fF/um", "ps·fF/µm"},
 		{"1/ps", "1/ps"},
 		{"kohm*fF", "ps"}, // left-to-right composition collapses
+		{"ns", "ns"},
+		{"1/ns", "1/ns"},
 	}
 	for _, tc := range cases {
 		u, err := ParseUnit(tc.in)

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"sllt/internal/liberty"
+	"sllt/internal/obs"
 	"sllt/internal/tech"
 	"sllt/internal/tree"
 )
@@ -43,6 +44,12 @@ type Inserter struct {
 	// cell (the OpenROAD-like baseline drives everything with large
 	// buffers).
 	ForceCell string
+	// Kernel, when non-nil, receives insertion counters (BufInserted from
+	// BufferTree, BufDecoupled from DecoupleSlowWires). The pointer is set
+	// once at construction time like every other field, and the counters it
+	// reaches are atomic — the shared-Inserter concurrency contract above is
+	// unchanged.
+	Kernel *obs.KernelCounters
 }
 
 // pick returns the cell for a stage load, honoring ForceCell. Sizing is
@@ -118,6 +125,14 @@ func (ins *Inserter) LowerBound(capLoad float64) float64 {
 // critical length. Cells are sized to their stage loads. Returns the number
 // of buffers inserted. The tree is modified in place.
 func (ins *Inserter) BufferTree(t *tree.Tree) int {
+	n := ins.bufferTree(t)
+	if ins.Kernel != nil {
+		ins.Kernel.BufInserted.Add(int64(n))
+	}
+	return n
+}
+
+func (ins *Inserter) bufferTree(t *tree.Tree) int {
 	if t == nil || t.Root == nil {
 		return 0
 	}
@@ -225,6 +240,14 @@ func (ins *Inserter) BufferTree(t *tree.Tree) int {
 // pass 2b; flows also re-run it after skew repair, whose snaking otherwise
 // leaves long high-capacitance serpentines loading shared stages.
 func (ins *Inserter) DecoupleSlowWires(t *tree.Tree) int {
+	n := ins.decoupleSlowWires(t)
+	if ins.Kernel != nil {
+		ins.Kernel.BufDecoupled.Add(int64(n))
+	}
+	return n
+}
+
+func (ins *Inserter) decoupleSlowWires(t *tree.Tree) int {
 	if ins.MaxWireDelay <= 0 {
 		return 0
 	}

@@ -75,7 +75,7 @@ func Refine(net *tree.Net, initial *tree.Tree, opts Options) (*tree.Tree, error)
 	// re-attaches overlong paths, and Steinerizes — skew legality is broken
 	// here, exactly as the paper notes.
 	relaxed := initial.Clone()
-	salt.Relax(relaxed, opts.SALTEps)
+	salt.RelaxK(relaxed, opts.SALTEps, opts.DME.Kernel)
 
 	// The BST seed leaves its Steiner points at delay-balance positions,
 	// which are poor for wirelength once balancing is deferred to Step 5.
@@ -87,7 +87,7 @@ func Refine(net *tree.Net, initial *tree.Tree, opts Options) (*tree.Tree, error)
 		if moved == 0 {
 			break
 		}
-		rsmt.Steinerize(relaxed)
+		rsmt.SteinerizeK(relaxed, opts.DME.Kernel)
 		tree.RemoveRedundantSteiner(relaxed)
 	}
 

@@ -12,12 +12,15 @@ package cts
 import (
 	"fmt"
 
+	"math"
+
 	"sllt/internal/buffering"
 	"sllt/internal/core"
 	"sllt/internal/design"
 	"sllt/internal/dme"
 	"sllt/internal/geom"
 	"sllt/internal/liberty"
+	"sllt/internal/obs"
 	"sllt/internal/parallel"
 	"sllt/internal/partition"
 	"sllt/internal/tech"
@@ -114,6 +117,11 @@ type Options struct {
 	// clusters are independent, and all randomness derives its seed from
 	// the task index, never a shared stream.
 	Workers int
+	// Obs, when non-nil, records stage spans, kernel counters and per-level
+	// QoR into the recorder. nil disables observability entirely; the
+	// synthesized tree is byte-identical either way — the recorder observes,
+	// it never feeds back into any algorithm decision.
+	Obs *obs.Recorder
 }
 
 // DefaultOptions returns the paper's configuration: CBS topology engine,
@@ -166,10 +174,12 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 		nodes[i] = clockNode{loc: s.Loc, cap: s.Cap, delay: 0, sub: leaf}
 	}
 
+	opts.Obs.SetMeta(d.Name, "sllt-cts", opts.Seed, opts.Workers)
 	res := &Result{}
 	ins := buffering.NewInserter(opts.Lib, opts.Tech, opts.Cons.MaxCap)
 	ins.Margin = opts.BufferMargin
 	ins.ForceCell = opts.ForceCell
+	ins.Kernel = opts.Obs.Kernel()
 
 	// Per-net skew spans telescope across levels (a net's span adds to the
 	// spread its cluster roots already carry), so every level gets an equal
@@ -189,19 +199,49 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 	}
 
 	// Top net: from the clock root to the remaining nodes.
-	top, err := buildNet(d.ClockRoot, nodes, opts, ins, levelBound, true)
+	tsp := opts.Obs.Begin("top_net")
+	var topQ *obs.NetQoR
+	if opts.Obs.Enabled() {
+		topQ = &obs.NetQoR{}
+	}
+	top, err := buildNet(d.ClockRoot, nodes, opts, ins, levelBound, true, topQ)
+	tsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("cts top net: %w", err)
 	}
 	res.Levels++
 	res.Clusters = append(res.Clusters, 1)
 	res.Tree = top
+	if topQ != nil {
+		opts.Obs.AddLevel(obs.LevelQoR{
+			Level:    res.Levels - 1,
+			Nodes:    len(nodes),
+			Clusters: 1,
+			WL:       topQ.WL,
+			Buffers:  topQ.Buffers,
+			BufArea:  topQ.BufArea,
+		})
+	}
 
+	asp := opts.Obs.Begin("timing")
 	rep, err := timing.Analyze(top, opts.Lib, opts.Tech, opts.SourceSlew)
+	asp.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Report = rep
+	if opts.Obs.Enabled() {
+		opts.Obs.SetTotals(obs.Totals{
+			WL:          rep.WL,
+			Skew:        rep.Skew,
+			MaxLatency:  rep.MaxLatency,
+			Buffers:     rep.Buffers,
+			BufArea:     rep.BufArea,
+			ClockCap:    rep.ClockCap,
+			MaxStageCap: rep.MaxStgCap,
+			MaxSlew:     rep.MaxSlew,
+		})
+	}
 	return res, nil
 }
 
@@ -231,6 +271,10 @@ func levelShare(skew float64, levelsLeft int) float64 {
 //
 // unit: levelBound ps ->
 func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, level int) ([]clockNode, int, error) {
+	lv := opts.Obs.Begin("level")
+	defer lv.End()
+	kprev := opts.Obs.Kernel().Snapshot()
+
 	pts := make([]geom.Point, len(nodes))
 	caps := make([]float64, len(nodes))
 	var capTotal float64
@@ -247,8 +291,10 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 		k = len(nodes)
 	}
 
-	centers := bestClustering(pts, k, opts, level)
-	assign := partition.BalancedAssign(pts, centers, opts.Cons.MaxFanout)
+	psp := lv.Begin("partition")
+	centers := bestClustering(pts, k, opts, level, psp)
+	assign, method := partition.BalancedAssignK(pts, centers, opts.Cons.MaxFanout, opts.Obs.Kernel())
+	var saStats *partition.SAStats
 	if opts.UseSA {
 		sa := partition.DefaultSAOptions(opts.Seed + int64(level))
 		// Fixed iteration counts vanish on hundred-thousand-sink levels;
@@ -261,8 +307,14 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 		sa.MaxCap = opts.Cons.MaxCap
 		sa.MaxWL = opts.Cons.MaxWL
 		sa.MaxFanout = opts.Cons.MaxFanout
+		if opts.Obs.Enabled() {
+			saStats = &partition.SAStats{}
+			sa.Stats = saStats
+			sa.Kernel = opts.Obs.Kernel()
+		}
 		assign = partition.RefineSA(pts, caps, k, assign, sa)
 	}
+	psp.End()
 
 	// Bucket members per cluster with exact capacities (one counting pass),
 	// then carve each cluster's node slice out of a single shared backing
@@ -299,12 +351,24 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 	// The clusters are independent nets: each build touches only its own
 	// members' subtrees, the Inserter is read-only (see buffering.Inserter),
 	// and nothing in the build consumes shared randomness — so the loop fans
-	// out, with each task writing only next[ci].
+	// out, with each task writing only next[ci] (and, when observability is
+	// on, its own qors[ci] slot; kernel counters and the latency histogram
+	// are atomic, hence order-independent).
+	csp := lv.Begin("clusters")
+	latDist := opts.Obs.Dist("cts.cluster.latency", obs.UnitPs, latencyBounds)
+	var qors []obs.NetQoR
+	if opts.Obs.Enabled() {
+		qors = make([]obs.NetQoR, len(clusters))
+	}
 	next := make([]clockNode, len(clusters))
-	err := parallel.ForEach(opts.Workers, len(clusters), func(ci int) error {
+	err := parallel.ForEachSpan(opts.Workers, len(clusters), csp, "cluster", func(ci int) error {
 		cluster := clusters[ci]
 		src := centroidOf(cluster)
-		sub, err := buildNet(src, cluster, opts, ins, levelBound, false)
+		var q *obs.NetQoR
+		if qors != nil {
+			q = &qors[ci]
+		}
+		sub, err := buildNet(src, cluster, opts, ins, levelBound, false, q)
 		if err != nil {
 			return err
 		}
@@ -317,6 +381,7 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 		if err != nil {
 			return err
 		}
+		latDist.Observe(est)
 		next[ci] = clockNode{
 			loc:   driver.Loc,
 			cap:   driver.PinCap,
@@ -325,10 +390,78 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 		}
 		return nil
 	})
+	csp.End()
 	if err != nil {
 		return nil, 0, err
 	}
+	if opts.Obs.Enabled() {
+		opts.Obs.AddLevel(levelQoR(level, nodes, clusters, next, qors, method, saStats, opts, kprev))
+	}
 	return next, len(clusters), nil
+}
+
+// latencyBounds are the cluster-latency histogram bucket bounds. unit: ps
+var latencyBounds = []float64{25, 50, 100, 200, 400, 800}
+
+// levelQoR assembles one level's QoR record: per-task NetQoR slots summed
+// in index order, skew/latency spread over the next level's delay
+// annotations, and the kernel-counter delta since the level began. Runs
+// serially after the cluster fan-out has joined.
+func levelQoR(level int, nodes []clockNode, clusters [][]clockNode, next []clockNode, qors []obs.NetQoR, method string, saStats *partition.SAStats, opts Options, kprev obs.KernelSnapshot) obs.LevelQoR {
+	q := obs.LevelQoR{
+		Level:          level,
+		Nodes:          len(nodes),
+		Clusters:       len(clusters),
+		AssignMethod:   method,
+		KMeansRestarts: 1,
+	}
+	if opts.KMeansRestarts > 1 {
+		q.KMeansRestarts = opts.KMeansRestarts
+	}
+	for i := range qors {
+		q.WL += qors[i].WL
+		q.Buffers += qors[i].Buffers
+		q.BufArea += qors[i].BufArea
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range next {
+		if d := next[i].delay; d < lo {
+			lo = d
+		}
+		if d := next[i].delay; d > hi {
+			hi = d
+		}
+	}
+	if len(next) > 0 {
+		q.Skew = hi - lo
+		q.MaxLatency = hi
+	}
+	for _, cl := range clusters {
+		var s float64
+		for i := range cl {
+			s += cl[i].cap
+		}
+		if s > q.MaxClusterCap {
+			q.MaxClusterCap = s
+		}
+	}
+	if saStats != nil {
+		q.SAProposed = saStats.Proposed
+		q.SAAccepted = saStats.Accepted
+		if saStats.Proposed > 0 {
+			q.SAAcceptRate = float64(saStats.Accepted) / float64(saStats.Proposed)
+		}
+	}
+	delta := opts.Obs.Kernel().Snapshot().Sub(kprev)
+	q.KMeansIters = int(delta.KMeansIters)
+	q.GridQueries = delta.GridQueries
+	q.GridRingSteps = delta.GridRingSteps
+	if delta.GridQueries > 0 {
+		if hr := 1 - float64(delta.GridRingSteps)/float64(delta.GridQueries); hr > 0 {
+			q.GridHitRate = hr
+		}
+	}
+	return q
 }
 
 // bestClustering runs k-means once, or — when KMeansRestarts asks for it —
@@ -339,14 +472,15 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 // out across workers, each task writing only its own slot; the best-score
 // reduction then runs serially in restart order so ties keep the earliest
 // restart, exactly like the serial loop.
-func bestClustering(pts []geom.Point, k int, opts Options, level int) []geom.Point {
+func bestClustering(pts []geom.Point, k int, opts Options, level int, sp *obs.Span) []geom.Point {
+	kern := opts.Obs.Kernel()
 	restarts := opts.KMeansRestarts
 	if restarts < 1 {
 		restarts = 1
 	}
 	base := opts.Seed + int64(level)
 	if restarts == 1 {
-		centers, _ := partition.KMeansP(pts, k, 24, base, opts.Workers)
+		centers, _ := partition.KMeansPK(pts, k, 24, base, opts.Workers, kern)
 		return centers
 	}
 	// Split the worker budget: the outer fan-out covers the restarts, the
@@ -361,8 +495,8 @@ func bestClustering(pts []geom.Point, k int, opts Options, level int) []geom.Poi
 		score   float64
 	}
 	results := make([]restartResult, restarts)
-	parallel.ForEach(outer, restarts, func(r int) error {
-		c, a := partition.KMeansP(pts, k, 24, base+int64(r)*1009, inner)
+	parallel.ForEachSpan(outer, restarts, sp, "restart", func(r int) error {
+		c, a := partition.KMeansPK(pts, k, 24, base+int64(r)*1009, inner, kern)
 		s, sa := silhouetteSample(pts, a, 2500)
 		results[r] = restartResult{c, partition.SilhouetteP(s, sa, k, inner)}
 		return nil
@@ -409,7 +543,7 @@ func centroidOf(nodes []clockNode) geom.Point {
 // rooted at a Source node at src.
 //
 // unit: levelBound ps ->
-func buildNet(src geom.Point, nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, top bool) (*tree.Tree, error) {
+func buildNet(src geom.Point, nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, top bool, q *obs.NetQoR) (*tree.Tree, error) {
 	net := &tree.Net{Name: "lvl", Source: src}
 	for i := range nodes {
 		net.Sinks = append(net.Sinks, tree.PinSink{
@@ -430,6 +564,7 @@ func buildNet(src geom.Point, nodes []clockNode, opts Options, ins *buffering.In
 		// the critical path, so level nets use classic merging segments;
 		// regions remain the default for standalone net construction.
 		RegionGreed: dme.SegmentRegions,
+		Kernel:      opts.Obs.Kernel(),
 	}
 	if opts.Est == EstNone {
 		dopts.SinkDelay = nil
@@ -446,6 +581,18 @@ func buildNet(src geom.Point, nodes []clockNode, opts Options, ins *buffering.In
 		// snakes behind repeaters and settle the skew once more.
 		if ins.DecoupleSlowWires(t) > 0 {
 			repairBuffered(t, opts, dopts, levelBound)
+		}
+	}
+
+	// Measure the net's own resources before grafting pulls the lower
+	// levels' wire and buffers into the tree.
+	if q != nil {
+		q.WL = t.Wirelength()
+		for _, bn := range t.Buffers() {
+			q.Buffers++
+			if cell := opts.Lib.Cell(bn.BufCell); cell != nil {
+				q.BufArea += cell.Area
+			}
 		}
 	}
 

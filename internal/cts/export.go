@@ -2,6 +2,7 @@ package cts
 
 import (
 	"fmt"
+	"os"
 
 	"sllt/internal/design"
 	"sllt/internal/geom"
@@ -11,6 +12,33 @@ import (
 
 // ClockLayer is the routing layer clock wires are emitted on.
 const ClockLayer = "metal4"
+
+// ExportDEFFile validates the synthesis result and writes the post-CTS
+// DEF to path. ExportDEF itself assumes a well-formed result (the flow
+// guarantees one); this wrapper is the defensive boundary for callers
+// handing in external state — a nil tree, a design whose clock net has no
+// sinks, or an unwritable destination all come back as errors instead of
+// a panic or a silently empty file. Returns the exported DEF for callers
+// that report component/net counts.
+func ExportDEFFile(path string, d *design.Design, res *Result) (*lefdef.DEF, error) {
+	if d == nil {
+		return nil, fmt.Errorf("cts: export: nil design")
+	}
+	if res == nil || res.Tree == nil || res.Tree.Root == nil {
+		return nil, fmt.Errorf("cts: export: nil synthesis tree for design %q", d.Name)
+	}
+	if d.ClockNet == "" {
+		return nil, fmt.Errorf("cts: export: design %q has no clock net", d.Name)
+	}
+	if d.NumFFs() == 0 {
+		return nil, fmt.Errorf("cts: export: clock net %q has no sinks", d.ClockNet)
+	}
+	def := ExportDEF(d, res)
+	if err := os.WriteFile(path, []byte(def.WriteDEF()), 0o644); err != nil {
+		return nil, fmt.Errorf("cts: export: %w", err)
+	}
+	return def, nil
+}
 
 // ExportDEF emits the post-CTS netlist as DEF-lite: the original components
 // plus the inserted clock buffers, with the flat clock net replaced by one

@@ -2,9 +2,14 @@ package cts
 
 import (
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
+	"sllt/internal/design"
 	"sllt/internal/designgen"
+	"sllt/internal/geom"
 	"sllt/internal/lefdef"
 )
 
@@ -49,5 +54,75 @@ func TestExportDEFRoundTrip(t *testing.T) {
 	}
 	if math.Abs(routed-res.Report.WL) > res.Report.WL*0.001+1 {
 		t.Errorf("routed length %.1f != tree wirelength %.1f", routed, res.Report.WL)
+	}
+}
+
+// TestExportDEFFileErrors covers the defensive boundary of ExportDEFFile:
+// every malformed input must come back as a descriptive error — never a
+// panic, never a silently empty output file.
+func TestExportDEFFileErrors(t *testing.T) {
+	spec := designgen.Spec{Name: "experr", Insts: 200, FFs: 40, Util: 0.6}
+	d := designgen.Generate(spec, 11)
+	opts := DefaultOptions()
+	opts.SAIters = 20
+	res, err := Run(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	ok := filepath.Join(tmp, "ok.def")
+
+	noSinks := &design.Design{
+		Name: "nosinks", Die: geom.Rect{XHi: 10, YHi: 10}, DBU: 1000,
+		ClockNet: "clk", ClockRoot: geom.Pt(5, 5),
+	}
+	noNet := &design.Design{
+		Name: "nonet", Die: geom.Rect{XHi: 10, YHi: 10}, DBU: 1000,
+	}
+
+	cases := []struct {
+		name string
+		path string
+		d    *design.Design
+		res  *Result
+		want string
+	}{
+		{"nil design", ok, nil, res, "nil design"},
+		{"nil result", ok, d, nil, "nil synthesis tree"},
+		{"nil tree", ok, d, &Result{}, "nil synthesis tree"},
+		{"no clock net", ok, noNet, res, "no clock net"},
+		{"empty clock net", ok, noSinks, res, "no sinks"},
+		{"unwritable path", filepath.Join(tmp, "no", "such", "dir", "out.def"), d, res, "export:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ExportDEFFile(tc.path, tc.d, tc.res)
+			if err == nil {
+				t.Fatalf("ExportDEFFile succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+	// No failing case may leave a file behind at the good path.
+	if _, err := os.Stat(ok); !os.IsNotExist(err) {
+		t.Errorf("failing exports wrote %s (stat err: %v)", ok, err)
+	}
+
+	// And the happy path writes a parseable DEF that matches the returned one.
+	out, err := ExportDEFFile(ok, d, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != out.WriteDEF() {
+		t.Error("file contents differ from returned DEF")
+	}
+	if _, err := lefdef.ParseDEF(string(data)); err != nil {
+		t.Errorf("exported file does not re-parse: %v", err)
 	}
 }

@@ -1,10 +1,12 @@
 package cts
 
 import (
+	"reflect"
 	"testing"
 
 	"sllt/internal/buffering"
 	"sllt/internal/designgen"
+	"sllt/internal/obs"
 	"sllt/internal/tree"
 )
 
@@ -29,6 +31,36 @@ func benchNodes(b *testing.B, insts, ffs int) ([]clockNode, Options, *buffering.
 	ins.Margin = opts.BufferMargin
 	bound := levelShare(opts.Cons.SkewBound, estLevels(len(nodes), opts.Cons.MaxFanout))
 	return nodes, opts, ins, bound
+}
+
+// TestStageTimingManualClock pins per-stage timing to the injectable obs
+// clock instead of the wall clock: with a ManualClock every span duration
+// is a pure function of the instrumentation call sequence, so the
+// assertions are exact and can never flake on a slow or preempted CI
+// runner. A serial (Workers=1) run must produce the identical StageNs map
+// on every execution, and every flow stage must record nonzero time.
+func TestStageTimingManualClock(t *testing.T) {
+	run := func() map[string]int64 {
+		spec := designgen.Spec{Name: "clk", Insts: 300, FFs: 60, Util: 0.6}
+		d := designgen.Generate(spec, 2)
+		opts := DefaultOptions()
+		opts.SAIters = 20
+		opts.Workers = 1 // serial: the manual clock's Now sequence is then deterministic
+		opts.Obs = obs.New(obs.NewManualClock(1))
+		if _, err := Run(d, opts); err != nil {
+			t.Fatal(err)
+		}
+		return opts.Obs.Snapshot().StageNs()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("manual-clock stage timings differ across identical runs:\n%v\n%v", a, b)
+	}
+	for _, name := range []string{"level", "partition", "clusters", "cluster", "top_net", "timing"} {
+		if a[name] <= 0 {
+			t.Errorf("stage %q recorded no time: %v", name, a)
+		}
+	}
 }
 
 // BenchmarkBuildLevelAllocs guards the hot-path allocation work: member

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"sllt/internal/geom"
+	"sllt/internal/obs"
 	"sllt/internal/tech"
 	"sllt/internal/tree"
 )
@@ -66,6 +67,10 @@ type Options struct {
 	// delay-interval tightness for downstream wirelength. The zero value
 	// means the default (1); SegmentRegions selects pure segments.
 	RegionGreed float64
+	// Kernel, when non-nil, receives work counters (merge constructions,
+	// skew-repair snakes). Purely observational: the counters never feed
+	// back into any merging decision.
+	Kernel *obs.KernelCounters
 }
 
 // SegmentRegions is the RegionGreed value for classic single-split merging
@@ -268,6 +273,9 @@ func merge(a, b *mnode, opts Options) (*mnode, error) {
 		return nil, fmt.Errorf("dme: child subtree skew (%g, %g) exceeds bound %g", spanA, spanB, B)
 	}
 	m := &mnode{d: d, left: a, right: b, sinkIdx: -1}
+	if opts.Kernel != nil {
+		opts.Kernel.DMEMerges.Add(1)
+	}
 
 	dlo := b.hi - a.lo - B
 	dhi := B - a.hi + b.lo
@@ -297,6 +305,9 @@ func merge(a, b *mnode, opts Options) (*mnode, error) {
 	}
 
 	if m.detour {
+		if opts.Kernel != nil {
+			opts.Kernel.DMESnakes.Add(1)
+		}
 		m.eaFix, m.ebFix = ea, eb
 		m.ms = a.ms.Expand(ea).Intersect(b.ms.Expand(eb))
 		if m.ms.Empty() {

@@ -84,6 +84,9 @@ func RepairSkew(t *tree.Tree, net *tree.Net, opts Options) error {
 				// (hmax - B + span) cannot exceed hmax.
 				k.n.EdgeLen = opts.invDelayAdd(target, k.cap)
 				e = opts.delayAdd(k.n.EdgeLen, k.cap)
+				if opts.Kernel != nil {
+					opts.Kernel.DMESnakes.Add(1)
+				}
 			}
 			mlo = math.Min(mlo, k.slo+e)
 			mhi = math.Max(mhi, k.shi+e)

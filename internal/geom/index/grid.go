@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"sllt/internal/geom"
+	"sllt/internal/obs"
 )
 
 // Grid is a uniform bucket grid over a fixed point set. The zero value is
@@ -40,6 +41,11 @@ type Grid struct {
 	// table is rebuilt over the survivors so query rings stay ~1 point per
 	// cell instead of expanding across emptied buckets.
 	rebuildAt int
+	// Kernel, when non-nil, receives per-query counters (GridQueries and
+	// GridRingSteps). Atomic adds keep queries schedule-independent and
+	// allocation-free, so the counters never perturb results or the
+	// steady-state zero-alloc guarantee.
+	Kernel *obs.KernelCounters
 }
 
 // New builds a static grid over pts. The points slice is retained, not
@@ -116,7 +122,7 @@ func (g *Grid) rebuild() {
 	backing := make([]int32, n)
 	off := int32(0)
 	for ci, c := range counts {
-		g.cells[ci] = backing[off:off : off+c]
+		g.cells[ci] = backing[off : off : off+c]
 		off += c
 	}
 	// Ascending fill keeps each cell's indices sorted, preserving the
@@ -209,11 +215,16 @@ func (g *Grid) nearest(q geom.Point, oct int, skip func(int) bool) (int, float64
 	if g.liveTotal == 0 {
 		return -1, 0
 	}
+	if g.Kernel != nil {
+		g.Kernel.GridQueries.Add(1)
+	}
+	rings := int64(0)
 	cx, cy := g.coords(q)
 	best := -1
 	bestD := math.Inf(1)
 	maxRing := g.nx + g.ny
 	for r := 0; r <= maxRing; r++ {
+		rings = int64(r)
 		// A point in a ring-r cell is at least (r−1)·cell away from q (q may
 		// sit anywhere inside its own clamped cell), so once the bound passes
 		// the incumbent the search is complete.
@@ -265,6 +276,9 @@ func (g *Grid) nearest(q geom.Point, oct int, skip func(int) bool) (int, float64
 				}
 			}
 		}
+	}
+	if g.Kernel != nil {
+		g.Kernel.GridRingSteps.Add(rings)
 	}
 	if best < 0 {
 		return -1, 0

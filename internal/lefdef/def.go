@@ -108,10 +108,14 @@ func ParseDEF(src string) (*DEF, error) {
 	for i < len(toks) {
 		switch toks[i] {
 		case "VERSION":
-			def.Version = toks[i+1]
+			if i+1 < len(toks) {
+				def.Version = toks[i+1]
+			}
 			i = skipStatement(toks, i)
 		case "DESIGN":
-			def.Design = toks[i+1]
+			if i+1 < len(toks) {
+				def.Design = toks[i+1]
+			}
 			i = skipStatement(toks, i)
 		case "UNITS":
 			// UNITS DISTANCE MICRONS n ;
@@ -176,14 +180,21 @@ func (d *DEF) parseComponents(toks []string, i int) (int, error) {
 		if toks[i] != "-" {
 			return i, fmt.Errorf("def: expected '-' in COMPONENTS, got %q", toks[i])
 		}
+		if i+2 >= len(toks) {
+			return i, fmt.Errorf("def: truncated COMPONENTS entry")
+		}
 		c := Component{Name: toks[i+1], Macro: toks[i+2]}
 		j := i + 3
 		for j < len(toks) && toks[j] != ";" {
 			if (toks[j] == "PLACED" || toks[j] == "FIXED") && j+4 < len(toks) && toks[j+1] == "(" {
 				c.Placed = true
 				c.Loc = geom.Pt(atof(toks[j+2])/scale, atof(toks[j+3])/scale)
+				// The orient is optional; punctuation after ")" means it
+				// was omitted (grabbing it would corrupt WriteDEF output).
 				if j+5 < len(toks) && toks[j+4] == ")" {
-					c.Orient = toks[j+5]
+					if o := toks[j+5]; o != ";" && o != "+" && o != "(" && o != ")" {
+						c.Orient = o
+					}
 				}
 				j += 5
 				continue
@@ -206,18 +217,27 @@ func (d *DEF) parsePins(toks []string, i int) (int, error) {
 		if toks[i] != "-" {
 			return i, fmt.Errorf("def: expected '-' in PINS, got %q", toks[i])
 		}
+		if i+1 >= len(toks) {
+			return i, fmt.Errorf("def: truncated PINS entry")
+		}
 		p := IOPin{Name: toks[i+1]}
 		j := i + 2
 		for j < len(toks) && toks[j] != ";" {
 			switch toks[j] {
 			case "NET":
-				p.Net = toks[j+1]
+				if j+1 < len(toks) {
+					p.Net = toks[j+1]
+				}
 				j++
 			case "DIRECTION":
-				p.Direction = toks[j+1]
+				if j+1 < len(toks) {
+					p.Direction = toks[j+1]
+				}
 				j++
 			case "USE":
-				p.Use = toks[j+1]
+				if j+1 < len(toks) {
+					p.Use = toks[j+1]
+				}
 				j++
 			case "PLACED", "FIXED":
 				if j+3 < len(toks) && toks[j+1] == "(" {
@@ -242,6 +262,9 @@ func (d *DEF) parseNets(toks []string, i int) (int, error) {
 		if toks[i] != "-" {
 			return i, fmt.Errorf("def: expected '-' in NETS, got %q", toks[i])
 		}
+		if i+1 >= len(toks) {
+			return i, fmt.Errorf("def: truncated NETS entry")
+		}
 		n := Net{Name: toks[i+1]}
 		j := i + 2
 		scale := float64(d.DBU)
@@ -258,7 +281,9 @@ func (d *DEF) parseNets(toks []string, i int) (int, error) {
 				}
 				switch toks[j+1] {
 				case "USE":
-					n.Use = toks[j+2]
+					if j+2 < len(toks) {
+						n.Use = toks[j+2]
+					}
 					j += 2
 				case "ROUTED":
 					var next int
@@ -349,7 +374,7 @@ func parseRoutes(toks []string, i int, scale float64) ([]Route, int) {
 		i++
 		r := Route{Layer: layer}
 		var last geom.Point
-		for i < len(toks) && toks[i] == "(" {
+		for i+2 < len(toks) && toks[i] == "(" {
 			// ( x y ) with * meaning "same as previous".
 			xs, ys := toks[i+1], toks[i+2]
 			x, y := last.X, last.Y

@@ -1,0 +1,47 @@
+package lefdef
+
+import "testing"
+
+// FuzzParseDEF asserts ParseDEF returns errors — never panics — on
+// arbitrary input, and that any DEF it accepts survives a write/reparse
+// round trip (WriteDEF output is always parseable).
+func FuzzParseDEF(f *testing.F) {
+	f.Add(sampleDEF)
+	f.Add("VERSION")
+	f.Add("DESIGN")
+	f.Add("DESIGN d ;\nCOMPONENTS 1 ;\n- a")
+	f.Add("DESIGN d ;\nPINS 1 ;\n- p + NET")
+	f.Add("DESIGN d ;\nNETS 1 ;\n- n ( a b ) + USE")
+	f.Add("DESIGN d ;\nNETS 1 ;\n- n + ROUTED M1 ( 1 2 ) ( * 3")
+	f.Add("DESIGN d ;\nUNITS DISTANCE MICRONS 0 ;\nDIEAREA ( 0 0 ) ( 5 5 ) ;")
+	f.Fuzz(func(t *testing.T, src string) {
+		def, err := ParseDEF(src)
+		if err != nil {
+			return
+		}
+		if _, err := ParseDEF(def.WriteDEF()); err != nil {
+			t.Fatalf("round trip of accepted DEF failed: %v", err)
+		}
+	})
+}
+
+// FuzzParseLEF asserts ParseLEF returns errors — never panics — on
+// arbitrary input, and that any LEF it accepts round-trips through
+// WriteLEF.
+func FuzzParseLEF(f *testing.F) {
+	f.Add(sampleLEF)
+	f.Add("MACRO")
+	f.Add("MACRO m\nPIN")
+	f.Add("MACRO m\nPIN p\nDIRECTION")
+	f.Add("MACRO m\nPIN p\nCAPACITANCE")
+	f.Add("UNITS\nDATABASE MICRONS x")
+	f.Fuzz(func(t *testing.T, src string) {
+		lef, err := ParseLEF(src)
+		if err != nil {
+			return
+		}
+		if _, err := ParseLEF(lef.WriteLEF()); err != nil {
+			t.Fatalf("round trip of accepted LEF failed: %v", err)
+		}
+	})
+}

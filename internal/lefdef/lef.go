@@ -138,18 +138,27 @@ func parseMacro(toks []string, i int) (*Macro, int, error) {
 }
 
 func parseMacroPin(toks []string, i int) (MacroPin, int, error) {
+	if i+1 >= len(toks) {
+		return MacroPin{}, i, fmt.Errorf("lef: truncated PIN at token %d", i)
+	}
 	p := MacroPin{Name: toks[i+1]}
 	i += 2
 	for i < len(toks) {
 		switch toks[i] {
 		case "DIRECTION":
-			p.Direction = toks[i+1]
+			if i+1 < len(toks) {
+				p.Direction = toks[i+1]
+			}
 			i = skipStatement(toks, i)
 		case "USE":
-			p.Use = toks[i+1]
+			if i+1 < len(toks) {
+				p.Use = toks[i+1]
+			}
 			i = skipStatement(toks, i)
 		case "CAPACITANCE":
-			p.Cap = atof(toks[i+1])
+			if i+1 < len(toks) {
+				p.Cap = atof(toks[i+1])
+			}
 			i = skipStatement(toks, i)
 		case "END":
 			if i+1 < len(toks) && toks[i+1] == p.Name {

@@ -1,0 +1,29 @@
+package liberty
+
+import "testing"
+
+// FuzzParseLiberty asserts Parse returns errors — never panics — on
+// arbitrary input, and that any library it accepts has at least one cell
+// whose accessors are safe to call.
+func FuzzParseLiberty(f *testing.F) {
+	f.Add(GenerateSource("fuzz28", Default28nmSpecs()))
+	f.Add(`library (l) { cell (b) { pin (i) { direction : input ; } pin (o) { direction : output ; timing () { cell_rise () { values ( "x" ) ; } } } } }`)
+	f.Add(`library (l) { cell (b) { pin (i) { direction : input ; } pin (o) { direction : output ; timing () { cell_rise () { index_1 ( "1" ) ; values ( "" ) ; } } } } }`)
+	f.Add("library (l) { /* unterminated")
+	f.Add(`library (l) { k : "unterminated`)
+	f.Add("library")
+	f.Fuzz(func(t *testing.T, src string) {
+		lib, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(lib.Cells) == 0 {
+			t.Fatal("accepted library with no cells")
+		}
+		// The hot accessors assume a non-empty cell list; exercise them.
+		_ = lib.Smallest()
+		_ = lib.Strongest()
+		_ = lib.InsertionDelayLowerBound(10)
+		_ = lib.PickForLoad(10, 0.9)
+	})
+}

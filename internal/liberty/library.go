@@ -250,7 +250,7 @@ func fitOneLUT(lut *Group) ([3]float64, error) {
 	for _, rv := range vals.Values {
 		rows = append(rows, parseNums(rv))
 	}
-	if len(rows) == 0 {
+	if len(rows) == 0 || len(rows[0]) == 0 {
 		return [3]float64{}, fmt.Errorf("LUT %s has empty values", lut.Name)
 	}
 	if len(idx1) == 0 && len(idx2) == 0 {

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies the monotonic timestamps spans record. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns elapsed nanoseconds on a monotonic scale. The zero point
+	// is arbitrary but fixed for the lifetime of the clock.
+	Now() int64 // unit: ns
+}
+
+// wallClock reads the process monotonic clock, anchored at construction so
+// span timestamps start near zero.
+type wallClock struct {
+	base time.Time
+}
+
+// NewWallClock returns the production Clock: monotonic elapsed time since
+// the call. This is the only place the observability layer touches the real
+// clock; algorithm packages receive timestamps only through spans, never
+// read them back.
+func NewWallClock() Clock {
+	return &wallClock{base: time.Now()}
+}
+
+func (c *wallClock) Now() int64 { return int64(time.Since(c.base)) }
+
+// ManualClock is a deterministic Clock for tests and golden fixtures: every
+// Now call advances it by Step nanoseconds, so a serial run produces the
+// same timestamp sequence on every machine.
+type ManualClock struct {
+	now  atomic.Int64
+	step int64
+}
+
+// NewManualClock returns a ManualClock starting at 0 that advances by step
+// nanoseconds per Now call.
+func NewManualClock(step int64) *ManualClock {
+	return &ManualClock{step: step}
+}
+
+// Now returns the current reading and advances the clock by the step.
+func (c *ManualClock) Now() int64 { return c.now.Add(c.step) - c.step }
+
+// Set jumps the clock to t nanoseconds.
+func (c *ManualClock) Set(t int64) { c.now.Store(t) }

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sync"
+)
+
+// Span is one timed stage of the flow. Spans form a tree: sequential
+// children are appended in call order, task children (BeginTask) occupy
+// their task-index slot so a parallel fan-out serializes deterministically.
+// All methods are safe on a nil *Span (the disabled path) and safe for
+// concurrent use on distinct spans; BeginTask on one parent may be called
+// concurrently from many tasks.
+type Span struct {
+	rec   *Recorder
+	name  string
+	task  int   // >= 0 when created by BeginTask
+	start int64 // unit: ns
+	dur   int64 // unit: ns
+
+	mu       sync.Mutex
+	children []*Span // sequential children, call order
+	tasks    []*Span // indexed children; nil slots were never begun
+}
+
+// Begin starts a sequential child span. Returns nil when s is nil.
+func (s *Span) Begin(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{rec: s.rec, name: name, task: -1, start: s.rec.clock.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// BeginTask starts a child span pinned to task slot i. Concurrent calls
+// with distinct i are safe; the serialized order is by index regardless of
+// scheduling. Returns nil when s is nil.
+func (s *Span) BeginTask(i int, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{rec: s.rec, name: name, task: i, start: s.rec.clock.Now()}
+	s.mu.Lock()
+	for len(s.tasks) <= i {
+		s.tasks = append(s.tasks, nil)
+	}
+	s.tasks[i] = c
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, capturing its duration. No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if d := s.rec.clock.Now() - s.start; d > 0 {
+		s.dur = d
+	}
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the recorded duration in nanoseconds (0 on nil or
+// unfinished spans).
+func (s *Span) Duration() int64 { // unit: ns
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// snapshot converts the span subtree to its serialized form: sequential
+// children first (call order), then task children in ascending index.
+func (s *Span) snapshot() *SpanJSON {
+	s.mu.Lock()
+	seq := append([]*Span(nil), s.children...)
+	tasks := append([]*Span(nil), s.tasks...)
+	s.mu.Unlock()
+	out := &SpanJSON{Name: s.name, Task: s.task, StartNs: s.start, DurNs: s.dur}
+	for _, c := range seq {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	for _, c := range tasks {
+		if c != nil {
+			out.Children = append(out.Children, c.snapshot())
+		}
+	}
+	return out
+}
+
+// SpanJSON is the serialized form of a span subtree (see the package doc's
+// schema). Field order is the canonical encoding order.
+type SpanJSON struct {
+	Name     string      `json:"name"`
+	Task     int         `json:"task"`
+	StartNs  int64       `json:"start_ns"` // unit: ns
+	DurNs    int64       `json:"dur_ns"`   // unit: ns
+	Children []*SpanJSON `json:"children,omitempty"`
+}
+
+// Walk visits the span tree depth-first, parents before children.
+func (sj *SpanJSON) Walk(fn func(depth int, s *SpanJSON)) {
+	var rec func(d int, s *SpanJSON)
+	rec = func(d int, s *SpanJSON) {
+		fn(d, s)
+		for _, c := range s.Children {
+			rec(d+1, c)
+		}
+	}
+	if sj != nil {
+		rec(0, sj)
+	}
+}

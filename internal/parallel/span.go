@@ -1,0 +1,20 @@
+package parallel
+
+import "sllt/internal/obs"
+
+// ForEachSpan is ForEach with per-task observability spans: task i runs
+// inside parent.BeginTask(i, name), so the span tree records every task's
+// duration while serialization stays index-ascending regardless of the
+// schedule (task spans occupy index-pinned slots; see obs.Span). A nil
+// parent — observability disabled — delegates straight to ForEach, adding
+// nothing to the hot path.
+func ForEachSpan(workers, n int, parent *obs.Span, name string, fn func(i int) error) error {
+	if parent == nil {
+		return ForEach(workers, n, fn)
+	}
+	return ForEach(workers, n, func(i int) error {
+		sp := parent.BeginTask(i, name)
+		defer sp.End()
+		return fn(i)
+	})
+}

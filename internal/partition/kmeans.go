@@ -13,6 +13,7 @@ import (
 
 	"sllt/internal/geom"
 	"sllt/internal/geom/index"
+	"sllt/internal/obs"
 	"sllt/internal/parallel"
 )
 
@@ -64,6 +65,14 @@ func KMeans(pts []geom.Point, k, iters int, seed int64) ([]geom.Point, []int) {
 // sweep for empty clusters (whose mid-sweep reads of mixed old/new centers
 // are part of the reference semantics).
 func KMeansP(pts []geom.Point, k, iters int, seed int64, workers int) ([]geom.Point, []int) {
+	return KMeansPK(pts, k, iters, seed, workers, nil)
+}
+
+// KMeansPK is KMeansP with kernel-counter attribution: each Lloyd iteration
+// bumps kern.KMeansIters and the assignment pass's grid reports its query
+// counts, when kern is non-nil. The counters never feed back into the
+// algorithm, so KMeansPK(… , nil) and KMeansP are the same function.
+func KMeansPK(pts []geom.Point, k, iters int, seed int64, workers int, kern *obs.KernelCounters) ([]geom.Point, []int) {
 	n := len(pts)
 	if k < 1 {
 		k = 1
@@ -80,7 +89,10 @@ func KMeansP(pts []geom.Point, k, iters int, seed int64, workers int) ([]geom.Po
 	members := make([][]int, k)
 	newCenters := make([]geom.Point, k)
 	for it := 0; it < iters; it++ {
-		changed := assignPoints(pts, centers, assign, workers)
+		if kern != nil {
+			kern.KMeansIters.Add(1)
+		}
+		changed := assignPointsK(pts, centers, assign, workers, kern)
 
 		// Bucket members per cluster, ascending point index (serial O(n)).
 		for j := range members {
@@ -130,6 +142,12 @@ func KMeansP(pts []geom.Point, k, iters int, seed int64, workers int) ([]geom.Po
 // independent of every other's, so the pass partitions into contiguous
 // chunks; per-chunk change flags are OR-reduced after the fan-out.
 func assignPoints(pts []geom.Point, centers []geom.Point, assign []int, workers int) bool {
+	return assignPointsK(pts, centers, assign, workers, nil)
+}
+
+// assignPointsK is assignPoints with optional kernel-counter attribution on
+// the center grid's queries.
+func assignPointsK(pts []geom.Point, centers []geom.Point, assign []int, workers int, kern *obs.KernelCounters) bool {
 	n := len(pts)
 	workers = parallel.Clamp(workers)
 	// A grid over the centers answers each point's nearest-center query in
@@ -139,6 +157,7 @@ func assignPoints(pts []geom.Point, centers []geom.Point, assign []int, workers 
 	var g *index.Grid
 	if len(centers) >= assignGridMinCenters && n >= minParallelPoints {
 		g = index.New(centers)
+		g.Kernel = kern
 	}
 	if workers == 1 {
 		return assignRange(pts, centers, assign, 0, n, g)
@@ -389,13 +408,21 @@ func silhouetteOf(pts []geom.Point, assign []int, k, i int) float64 {
 // percent of optimal in practice and scales to hundred-thousand-sink
 // designs.
 func BalancedAssign(pts []geom.Point, centers []geom.Point, cap int) []int {
+	assign, _ := BalancedAssignK(pts, centers, cap, nil)
+	return assign
+}
+
+// BalancedAssignK is BalancedAssign with run-report attribution: it also
+// returns which solver ran ("mcf" or "greedy"), and the flow solver bumps
+// kern.MCFAugments per augmenting path when kern is non-nil.
+func BalancedAssignK(pts []geom.Point, centers []geom.Point, cap int, kern *obs.KernelCounters) ([]int, string) {
 	if cap*len(centers) < len(pts) {
 		cap = (len(pts) + len(centers) - 1) / len(centers)
 	}
 	if len(pts)*len(centers) <= 200_000 {
-		return assignMCF(pts, centers, cap)
+		return assignMCF(pts, centers, cap, kern), "mcf"
 	}
-	return assignGreedyRepair(pts, centers, cap)
+	return assignGreedyRepair(pts, centers, cap), "greedy"
 }
 
 // assignGreedyRepair assigns each point to its nearest center, then drains

@@ -5,13 +5,14 @@ import (
 	"math"
 
 	"sllt/internal/geom"
+	"sllt/internal/obs"
 )
 
 // assignMCF solves the capacitated assignment exactly as a min-cost
 // max-flow: source → point (cap 1) → center (cap 1, cost = Manhattan
 // distance) → sink (cap = cluster capacity). Successive shortest paths with
 // Johnson potentials keep every Dijkstra run on non-negative reduced costs.
-func assignMCF(pts []geom.Point, centers []geom.Point, cap int) []int {
+func assignMCF(pts []geom.Point, centers []geom.Point, cap int, kern *obs.KernelCounters) []int {
 	n, k := len(pts), len(centers)
 	// Node ids: 0 = source, 1..n = points, n+1..n+k = centers, n+k+1 = sink.
 	src, snk := 0, n+k+1
@@ -25,7 +26,7 @@ func assignMCF(pts []geom.Point, centers []geom.Point, cap int) []int {
 	for j := 0; j < k; j++ {
 		g.addEdge(1+n+j, snk, cap, 0)
 	}
-	g.minCostFlow(src, snk, n)
+	g.minCostFlow(src, snk, n, kern)
 
 	assign := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -68,7 +69,7 @@ func (g *flowGraph) addEdge(from, to, cap int, cost float64) {
 
 // minCostFlow pushes up to want units from src to snk along successive
 // shortest paths, returning the units sent and total cost.
-func (g *flowGraph) minCostFlow(src, snk, want int) (int, float64) {
+func (g *flowGraph) minCostFlow(src, snk, want int, kern *obs.KernelCounters) (int, float64) {
 	sent := 0
 	var total float64
 	dist := make([]float64, len(g.adj))
@@ -101,6 +102,9 @@ func (g *flowGraph) minCostFlow(src, snk, want int) (int, float64) {
 		}
 		if math.IsInf(dist[snk], 1) {
 			break // saturated
+		}
+		if kern != nil {
+			kern.MCFAugments.Add(1)
 		}
 		for i := range g.pot {
 			if !math.IsInf(dist[i], 1) {

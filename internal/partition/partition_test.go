@@ -111,7 +111,7 @@ func TestMCFBeatsGreedy(t *testing.T) {
 			}
 			return c
 		}
-		mcf := assignMCF(pts, centers, cap)
+		mcf := assignMCF(pts, centers, cap, nil)
 		greedy := assignGreedyRepair(pts, centers, cap)
 		if cost(mcf) > cost(greedy)+1e-6 {
 			t.Fatalf("trial %d: MCF cost %.2f worse than greedy %.2f", trial, cost(mcf), cost(greedy))
@@ -134,7 +134,7 @@ func TestMCFForcedContention(t *testing.T) {
 	// 4 points near center A, capacity 2: two must go to B.
 	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1), geom.Pt(1, 1)}
 	centers := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}
-	assign := assignMCF(pts, centers, 2)
+	assign := assignMCF(pts, centers, 2, nil)
 	loadA := 0
 	for _, a := range assign {
 		if a == 0 {

@@ -7,6 +7,7 @@ import (
 
 	"sllt/internal/geom"
 	"sllt/internal/geom/index"
+	"sllt/internal/obs"
 )
 
 // saGridThreshold is the instance count at which the annealer's
@@ -36,6 +37,19 @@ type SAOptions struct {
 	// InitTemp is the starting temperature; 0 picks a default from the
 	// initial cost.
 	InitTemp float64
+	// Stats, when non-nil, receives the run's move counts. RefineSA is
+	// called from the serial level loop, so plain ints suffice.
+	Stats *SAStats
+	// Kernel, when non-nil, receives the same counts as atomic kernel
+	// counters (plus the instance grid's query counters on large levels).
+	// Neither sink feeds back into any decision.
+	Kernel *obs.KernelCounters
+}
+
+// SAStats reports one RefineSA run's annealing activity.
+type SAStats struct {
+	Proposed int // moves attempted (a hull instance found a target net)
+	Accepted int // moves kept by the annealing rule
 }
 
 // DefaultSAOptions returns the options used by the hierarchical flow.
@@ -114,6 +128,7 @@ func newSAState(pts []geom.Point, caps []float64, k int, assign []int, opt SAOpt
 	}
 	if len(pts) >= saGridThreshold {
 		st.grid = index.New(pts)
+		st.grid.Kernel = opt.Kernel
 	}
 	return st
 }
@@ -269,11 +284,23 @@ func RefineSA(pts []geom.Point, caps []float64, k int, assign []int, opt SAOptio
 		if to < 0 {
 			continue
 		}
+		if opt.Stats != nil {
+			opt.Stats.Proposed++
+		}
+		if opt.Kernel != nil {
+			opt.Kernel.SAProposed.Add(1)
+		}
 		st.removeFrom(j, i)
 		st.addTo(to, i)
 		next := st.Cost()
 		delta := next - cur
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			if opt.Stats != nil {
+				opt.Stats.Accepted++
+			}
+			if opt.Kernel != nil {
+				opt.Kernel.SAAccepted.Add(1)
+			}
 			cur = next
 			if cur < best {
 				best = cur

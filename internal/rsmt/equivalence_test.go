@@ -36,7 +36,7 @@ func TestMSTGridMatchesExhaustive(t *testing.T) {
 			for trial := 0; trial < 3; trial++ {
 				pts := randomEquivPts(n, rng, integer)
 				ref := MSTExhaustive(pts)
-				got := mstGrid(pts)
+				got := mstGrid(pts, nil)
 				for i := range ref {
 					if got[i] != ref[i] {
 						t.Fatalf("n=%d integer=%v trial=%d: parent[%d]=%d, reference %d",
@@ -88,7 +88,7 @@ func TestSteinerizeQueueMatchesReference(t *testing.T) {
 
 			fast := base.Clone()
 			tree.LegalizeSinkLeaves(fast)
-			steinerizeQueue(fast)
+			steinerizeQueue(fast, nil)
 
 			ref := base.Clone()
 			SteinerizeReference(ref)
@@ -158,7 +158,7 @@ func TestEdgeSwapGridMatchesScanWL(t *testing.T) {
 		a := base.Clone()
 		movesScan := edgeSwapScan(a, a.Nodes())
 		b := base.Clone()
-		movesGrid := edgeSwapGrid(b, b.Nodes())
+		movesGrid := edgeSwapGrid(b, b.Nodes(), nil)
 
 		if movesScan != movesGrid {
 			t.Fatalf("trial=%d: scan accepted %d moves, grid %d", trial, movesScan, movesGrid)

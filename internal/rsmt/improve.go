@@ -3,6 +3,7 @@ package rsmt
 import (
 	"sllt/internal/geom"
 	"sllt/internal/geom/index"
+	"sllt/internal/obs"
 	"sllt/internal/tree"
 )
 
@@ -17,9 +18,21 @@ const swapGridThreshold = 96
 // neither pass finds a saving. Every accepted move strictly reduces total
 // wirelength, so the loop terminates.
 func Improve(t *tree.Tree) {
+	ImproveK(t, nil)
+}
+
+// ImproveK is Improve with kernel-counter attribution: accepted
+// reattachments land in kern.EdgeSwapMoves, each round in
+// kern.EdgeSwapPasses, and the Steinerization inserts in
+// kern.SteinerInserts (nil kern: exactly Improve).
+func ImproveK(t *tree.Tree, kern *obs.KernelCounters) {
 	for pass := 0; pass < 16; pass++ {
-		moved := edgeSwapOnce(t)
-		Steinerize(t)
+		moved := edgeSwapOnce(t, kern)
+		if kern != nil {
+			kern.EdgeSwapPasses.Add(1)
+			kern.EdgeSwapMoves.Add(int64(moved))
+		}
+		SteinerizeK(t, kern)
 		tree.RemoveRedundantSteiner(t)
 		if moved == 0 {
 			return
@@ -32,10 +45,10 @@ func Improve(t *tree.Tree) {
 // run the exhaustive all-pairs scan; large ones answer each vertex's
 // best-candidate-parent question with a grid nearest-neighbor query instead
 // of a full sweep.
-func edgeSwapOnce(t *tree.Tree) int {
+func edgeSwapOnce(t *tree.Tree, kern *obs.KernelCounters) int {
 	nodes := t.Nodes()
 	if len(nodes) >= swapGridThreshold {
-		return edgeSwapGrid(t, nodes)
+		return edgeSwapGrid(t, nodes, kern)
 	}
 	return edgeSwapScan(t, nodes)
 }
@@ -108,7 +121,7 @@ func edgeSwapScan(t *tree.Tree, nodes []*tree.Node) int {
 // relink — so the grid is built once per call. Results match the scan except
 // for exact-tie candidate choices (grid: lowest build index; scan: first in
 // preorder), which is why the fast path sits behind swapGridThreshold.
-func edgeSwapGrid(t *tree.Tree, nodes []*tree.Node) int {
+func edgeSwapGrid(t *tree.Tree, nodes []*tree.Node, kern *obs.KernelCounters) int {
 	moves := 0
 	locs := make([]geom.Point, len(nodes))
 	id := make(map[*tree.Node]int, len(nodes))
@@ -117,6 +130,7 @@ func edgeSwapGrid(t *tree.Tree, nodes []*tree.Node) int {
 		id[n] = i
 	}
 	g := index.New(locs)
+	g.Kernel = kern
 	order := make([]*tree.Node, 0, len(nodes))
 	last := make([]int, 0, len(nodes))
 	pos := make([]int, len(nodes)) // build index -> current preorder position

@@ -3,6 +3,7 @@ package rsmt
 import (
 	"sllt/internal/geom"
 	"sllt/internal/geom/index"
+	"sllt/internal/obs"
 )
 
 // mstGridThreshold is the point count at which MST switches from the
@@ -97,7 +98,7 @@ func candPop(h *[]mstCand) mstCand {
 // produce: every accepted edge costs one expanding-ring query plus O(log n)
 // heap work, grid compaction keeps ring walks at ~1 live point per cell as
 // the set drains, and repairs amortize the same way.
-func mstGrid(pts []geom.Point) []int {
+func mstGrid(pts []geom.Point, kern *obs.KernelCounters) []int {
 	n := len(pts)
 	parent := make([]int, n)
 	if n == 0 {
@@ -108,6 +109,7 @@ func mstGrid(pts []geom.Point) []int {
 		return parent
 	}
 	g := index.NewRemovable(pts)
+	g.Kernel = kern
 	g.Remove(0)
 	inTree := make([]bool, n)
 	inTree[0] = true

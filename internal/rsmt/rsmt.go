@@ -16,26 +16,34 @@ import (
 	"math"
 
 	"sllt/internal/geom"
+	"sllt/internal/obs"
 	"sllt/internal/tree"
 )
 
 // Build returns a rectilinear Steiner tree over the net's source and sinks,
 // rooted at the source. Edge lengths equal Manhattan distances (no snaking).
 func Build(net *tree.Net) *tree.Tree {
+	return BuildK(net, nil)
+}
+
+// BuildK is Build with kernel-counter attribution (MST builds and points,
+// Steiner insertions, edge-swap moves). A nil kern makes it exactly Build;
+// the counters never feed back into any construction decision.
+func BuildK(net *tree.Net, kern *obs.KernelCounters) *tree.Tree {
 	if len(net.Sinks)+1 <= hananThreshold {
 		t := buildSmall(net)
-		Steinerize(t)
-		Improve(t)
+		SteinerizeK(t, kern)
+		ImproveK(t, kern)
 		return t
 	}
 	pts := make([]geom.Point, 0, len(net.Sinks)+1)
 	pts = append(pts, net.Source)
 	pts = append(pts, net.SinkPoints()...)
 
-	parent := MST(pts)
+	parent := MSTK(pts, kern)
 	t := treeFromParents(net, pts, parent)
-	Steinerize(t)
-	Improve(t)
+	SteinerizeK(t, kern)
+	ImproveK(t, kern)
 	return t
 }
 
@@ -50,10 +58,21 @@ func WL(net *tree.Net) float64 { return Build(net).Wirelength() }
 // grid-accelerated Prim takes over, returning the identical parent array
 // (see mstGrid) in near-linear time.
 func MST(pts []geom.Point) []int {
+	return MSTK(pts, nil)
+}
+
+// MSTK is MST with kernel-counter attribution: one MSTBuilds tick, the
+// point count into MSTPoints, and (on the grid path) the index's query
+// counters. Nil kern makes it exactly MST.
+func MSTK(pts []geom.Point, kern *obs.KernelCounters) []int {
+	if kern != nil {
+		kern.MSTBuilds.Add(1)
+		kern.MSTPoints.Add(int64(len(pts)))
+	}
 	if len(pts) < mstGridThreshold {
 		return MSTExhaustive(pts)
 	}
-	return mstGrid(pts)
+	return mstGrid(pts, kern)
 }
 
 // MSTExhaustive is the retained O(n²) Prim reference: the lowest-index
@@ -148,7 +167,7 @@ func treeFromParents(net *tree.Net, pts []geom.Point, parent []int) *tree.Tree {
 	backing := make([]int32, 0, n-1)
 	off := 0
 	for p, c := range childCount {
-		children[p] = backing[off:off : off+int(c)]
+		children[p] = backing[off : off : off+int(c)]
 		off += int(c)
 	}
 	for i := 1; i < n; i++ {
@@ -183,12 +202,18 @@ func treeFromParents(net *tree.Net, pts []geom.Point, parent []int) *tree.Tree {
 // applies the same greedy moves while re-evaluating only pairs whose
 // endpoints the last accepted move touched.
 func Steinerize(t *tree.Tree) {
+	SteinerizeK(t, nil)
+}
+
+// SteinerizeK is Steinerize with accepted insertions counted into
+// kern.SteinerInserts (nil kern: exactly Steinerize).
+func SteinerizeK(t *tree.Tree, kern *obs.KernelCounters) {
 	tree.LegalizeSinkLeaves(t)
 	if len(t.Nodes()) >= steinerQueueThreshold {
-		steinerizeQueue(t)
+		steinerizeQueue(t, kern)
 		return
 	}
-	steinerizeScan(t)
+	steinerizeScan(t, kern)
 }
 
 // SteinerizeReference is the retained exhaustive kernel: a full-tree rescan
@@ -196,10 +221,10 @@ func Steinerize(t *tree.Tree) {
 // Steinerize equivalence property tests and the BENCH_*.json speedup column.
 func SteinerizeReference(t *tree.Tree) {
 	tree.LegalizeSinkLeaves(t)
-	steinerizeScan(t)
+	steinerizeScan(t, nil)
 }
 
-func steinerizeScan(t *tree.Tree) {
+func steinerizeScan(t *tree.Tree, kern *obs.KernelCounters) {
 	for {
 		n, a, b, gain := bestSteinerMove(t)
 		if gain <= geom.Eps {
@@ -212,6 +237,9 @@ func steinerizeScan(t *tree.Tree) {
 		n.AddChild(st)
 		st.AddChild(a)
 		st.AddChild(b)
+		if kern != nil {
+			kern.SteinerInserts.Add(1)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"sllt/internal/geom"
+	"sllt/internal/obs"
 	"sllt/internal/tree"
 )
 
@@ -56,7 +57,7 @@ func (h *moveHeap) Pop() interface{} {
 // while a pair is valid, so the valid heap top is exactly the full rescan's
 // best move, and on tie-free inputs the two kernels produce the identical
 // tree (the equivalence property test compares canonical forms).
-func steinerizeQueue(t *tree.Tree) {
+func steinerizeQueue(t *tree.Tree, kern *obs.KernelCounters) {
 	h := moveHeap(make([]steinerMove, 0, 4*len(t.Nodes())))
 	seq := 0
 	stage := func(n, a, b *tree.Node) (steinerMove, bool) {
@@ -92,6 +93,9 @@ func steinerizeQueue(t *tree.Tree) {
 		m.n.AddChild(st)
 		st.AddChild(m.a)
 		st.AddChild(m.b)
+		if kern != nil {
+			kern.SteinerInserts.Add(1)
+		}
 		// Only pairs with a touched endpoint need (re-)evaluation: the new
 		// Steiner child against each surviving sibling, and the moved pair.
 		for _, c := range m.n.Children {

@@ -13,6 +13,7 @@
 package salt
 
 import (
+	"sllt/internal/obs"
 	"sllt/internal/rsmt"
 	"sllt/internal/tree"
 )
@@ -34,6 +35,12 @@ func Build(net *tree.Net, eps float64) *tree.Tree {
 // bound. A final Steinerization pass recovers wirelength without lengthening
 // any path.
 func Relax(t *tree.Tree, eps float64) {
+	RelaxK(t, eps, nil)
+}
+
+// RelaxK is Relax with the final Steinerization pass's kernel counters
+// attributed to kern (nil kern: exactly Relax).
+func RelaxK(t *tree.Tree, eps float64, kern *obs.KernelCounters) {
 	if t == nil || t.Root == nil {
 		return
 	}
@@ -84,7 +91,7 @@ func Relax(t *tree.Tree, eps float64) {
 	}
 	dfs(root)
 
-	rsmt.Steinerize(t)
+	rsmt.SteinerizeK(t, kern)
 	tree.RemoveRedundantSteiner(t)
 }
 
