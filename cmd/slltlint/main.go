@@ -20,7 +20,10 @@
 //
 // Output defaults to one line per finding; -json emits a machine-readable
 // array, -sarif a SARIF 2.1.0 log for code-scanning upload, -fix a dry-run
-// diff of every suggested fix (nothing is written back).
+// diff of every suggested fix. Nothing is written back unless -fix -write
+// is given, which applies every suggested fix in place — and refuses to run
+// when the baseline filtered any findings, because rewriting files under a
+// stale baseline would desynchronize the two.
 //
 // A committed baseline (-baseline, default .slltlint-baseline.json) lists
 // accepted findings so only regressions gate; regenerate it after triage
@@ -38,26 +41,17 @@ import (
 	"os"
 
 	"sllt/internal/analysis"
-	"sllt/internal/analysis/floatcmp"
-	"sllt/internal/analysis/maporder"
-	"sllt/internal/analysis/seededrand"
-	"sllt/internal/analysis/sharedstate"
-	"sllt/internal/analysis/unitflow"
-	"sllt/internal/analysis/wallclock"
+	"sllt/internal/analysis/registry"
 )
 
-var analyzers = []*analysis.Analyzer{
-	floatcmp.Analyzer,
-	maporder.Analyzer,
-	seededrand.Analyzer,
-	sharedstate.Analyzer,
-	unitflow.Analyzer,
-	wallclock.Analyzer,
-}
+// analyzers is the full roster; registry.All keeps it in one place so the
+// CLI, CI and the metadata tests can never disagree about what runs.
+var analyzers = registry.All()
 
-func usage() {
-	fmt.Fprintf(flag.CommandLine.Output(),
-		`usage: slltlint [flags] [patterns...]
+func usage(fs *flag.FlagSet) func() {
+	return func() {
+		fmt.Fprintf(fs.Output(),
+			`usage: slltlint [flags] [patterns...]
 
 Runs the repository's custom analyzers (determinism suite + unitflow) over
 the packages matched by the patterns (default ./...).
@@ -69,25 +63,35 @@ Exit status:
 
 Flags:
 `)
-	flag.PrintDefaults()
+		fs.PrintDefaults()
+	}
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:]))
 }
 
-func run() int {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	verbose := flag.Bool("v", false, "print the packages as they are checked")
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
-	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
-	fixOut := flag.Bool("fix", false, "print a dry-run diff of every suggested fix (no files are modified)")
-	baselinePath := flag.String("baseline", ".slltlint-baseline.json",
+// run executes one lint invocation; split from main (and parameterized on
+// args) so the CLI behavior is testable in-process.
+func run(args []string) int {
+	fs := flag.NewFlagSet("slltlint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	verbose := fs.Bool("v", false, "print the packages as they are checked")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	fixOut := fs.Bool("fix", false, "print a dry-run diff of every suggested fix (no files are modified unless -write)")
+	writeFix := fs.Bool("write", false, "with -fix, apply the suggested fixes in place (refused when the baseline filtered findings)")
+	baselinePath := fs.String("baseline", ".slltlint-baseline.json",
 		"baseline file of accepted findings; only findings not in it gate (empty string disables)")
-	writeBaseline := flag.Bool("write-baseline", false,
+	writeBaseline := fs.Bool("write-baseline", false,
 		"regenerate the baseline file from the current findings and exit")
-	flag.Usage = usage
-	flag.Parse()
+	fs.Usage = usage(fs)
+	fs.Parse(args)
+
+	if *writeFix && !*fixOut {
+		fmt.Fprintln(os.Stderr, "slltlint: -write requires -fix")
+		return 2
+	}
 
 	if *list {
 		for _, az := range analyzers {
@@ -96,7 +100,7 @@ func run() int {
 		return 0
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -147,13 +151,16 @@ func run() int {
 		return 0
 	}
 
+	baselined := 0
 	if *baselinePath != "" {
 		b, err := analysis.LoadBaseline(*baselinePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
+		before := len(diags)
 		diags = b.Filter(diags, root)
+		baselined = before - len(diags)
 	}
 
 	switch {
@@ -195,14 +202,31 @@ func run() int {
 		// All packages of one Load share a FileSet, so any package's fset
 		// resolves every fix position.
 		fset := pkgs[0].Fset
-		for _, d := range diags {
-			for _, f := range d.Fixes {
-				diff, err := analysis.RenderFix(fset, f)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "slltlint: %v\n", err)
-					continue
+		if *writeFix {
+			if baselined > 0 {
+				fmt.Fprintf(os.Stderr,
+					"slltlint: refusing -fix -write: the baseline filtered %d finding(s); rewriting files would desynchronize it (regenerate with -write-baseline first)\n",
+					baselined)
+				return 2
+			}
+			changed, err := analysis.ApplyFixes(fset, diags)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "slltlint: %v\n", err)
+				return 2
+			}
+			for _, f := range changed {
+				fmt.Fprintf(os.Stderr, "slltlint: rewrote %s\n", analysis.RelPath(root, f))
+			}
+		} else {
+			for _, d := range diags {
+				for _, f := range d.Fixes {
+					diff, err := analysis.RenderFix(fset, f)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "slltlint: %v\n", err)
+						continue
+					}
+					fmt.Print(diff)
 				}
-				fmt.Print(diff)
 			}
 		}
 	}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// brokenSrc carries one ctxguard finding with a mechanical suggested fix:
+// context.Background() inside a function that already has a ctx parameter.
+const brokenSrc = `package tmpfix
+
+import "context"
+
+func lookup(ctx context.Context, key string) string { return key }
+
+func Handle(ctx context.Context, key string) string {
+	return lookup(context.Background(), key)
+}
+`
+
+// tempModule materializes a one-file module and chdirs into it, restoring
+// the working directory when the test ends.
+func tempModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpfix\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fix.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+	return path
+}
+
+// TestFixWriteRoundTrip drives the CLI end to end: dry-run -fix leaves the
+// file alone, -fix -write rewrites it, and a re-run comes back clean.
+func TestFixWriteRoundTrip(t *testing.T) {
+	path := tempModule(t, brokenSrc)
+
+	if code := run([]string{"-baseline", "", "-fix", "./..."}); code != 1 {
+		t.Fatalf("dry-run -fix exit = %d, want 1 (finding present)", code)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != brokenSrc {
+		t.Fatalf("dry-run -fix modified the file:\n%s", got)
+	}
+
+	if code := run([]string{"-baseline", "", "-fix", "-write", "./..."}); code != 1 {
+		t.Fatalf("-fix -write exit = %d, want 1 (the finding still gates this run)", code)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "lookup(ctx, key)") {
+		t.Fatalf("fix not applied:\n%s", got)
+	}
+	if strings.Contains(string(got), "context.Background") {
+		t.Fatalf("context.Background survived the rewrite:\n%s", got)
+	}
+
+	if code := run([]string{"-baseline", "", "./..."}); code != 0 {
+		t.Fatalf("post-fix lint exit = %d, want 0", code)
+	}
+}
+
+// TestFixWriteRefusesDirtyBaseline asserts -fix -write refuses to rewrite
+// files while a baseline is filtering findings: the rewrite would
+// desynchronize the two.
+func TestFixWriteRefusesDirtyBaseline(t *testing.T) {
+	path := tempModule(t, brokenSrc)
+
+	if code := run([]string{"-baseline", "lint-baseline.json", "-write-baseline", "./..."}); code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0", code)
+	}
+	if code := run([]string{"-baseline", "lint-baseline.json", "-fix", "-write", "./..."}); code != 2 {
+		t.Fatalf("-fix -write with dirty baseline exit = %d, want 2 (refusal)", code)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != brokenSrc {
+		t.Fatalf("file modified despite refusal:\n%s", got)
+	}
+}
+
+// TestWriteRequiresFix asserts the flag combination is validated before any
+// packages load.
+func TestWriteRequiresFix(t *testing.T) {
+	if code := run([]string{"-write"}); code != 2 {
+		t.Fatalf("-write without -fix exit = %d, want 2", code)
+	}
+}

@@ -29,6 +29,11 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of what the analyzer checks.
 	Doc string
 
+	// URL points at the analyzer's long-form documentation (conventionally
+	// a DESIGN.md anchor). SARIF output emits it as the rule's helpUri so
+	// code-scanning UIs can link each finding to its contract.
+	URL string
+
 	// Prepare, if non-nil, runs once per Run invocation over the whole
 	// batch of loaded packages before any per-package pass. Analyzers that
 	// need cross-package knowledge (unitflow's annotation registry) build

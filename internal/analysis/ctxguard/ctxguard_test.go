@@ -1,0 +1,16 @@
+package ctxguard_test
+
+import (
+	"testing"
+
+	"sllt/internal/analysis"
+	"sllt/internal/analysis/ctxguard"
+)
+
+func TestBad(t *testing.T) {
+	analysis.RunTest(t, ctxguard.Analyzer, "testdata/src/ctxbad")
+}
+
+func TestGood(t *testing.T) {
+	analysis.RunTest(t, ctxguard.Analyzer, "testdata/src/ctxgood")
+}

@@ -1,0 +1,48 @@
+// Package ctxbad is the positive fixture: every function breaks one
+// ctxguard rule.
+package ctxbad
+
+import (
+	"context"
+
+	"sllt/internal/parallel"
+)
+
+func lookup(ctx context.Context, key string) string { return key }
+
+func Handle(ctx context.Context, key string) string {
+	return lookup(context.Background(), key) // want "thread it instead of context.Background"
+}
+
+func Todo(ctx context.Context, key string) string {
+	return lookup(context.TODO(), key) // want "thread it instead of context.TODO"
+}
+
+func Unnamed(_ context.Context, key string) string {
+	return lookup(context.Background(), key) // want "name the parameter and thread it"
+}
+
+func Pump(ctx context.Context, ch chan int) {
+	for { // want "never checks ctx.Done()"
+		ch <- 1
+	}
+}
+
+func Serve(ctx context.Context, batches [][]float64) {
+	for { // want "never checks ctx.Done()"
+		_ = parallel.ForEach(1, len(batches), func(i int) error { return nil })
+	}
+}
+
+func Leak(n int) []int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute(n) // want "blocks forever"
+	}()
+	if n < 0 {
+		return nil // receiver bails out: the goroutine above leaks
+	}
+	return []int{<-ch}
+}
+
+func compute(n int) int { return n * n }

@@ -1,0 +1,70 @@
+// Package ctxgood is the negative fixture: correct context threading,
+// cancellable loops, and escaped sends produce no findings.
+package ctxgood
+
+import "context"
+
+func lookup(ctx context.Context, key string) string { return key }
+
+func Handle(ctx context.Context, key string) string {
+	return lookup(ctx, key)
+}
+
+// Root has no context parameter, so starting a fresh one is legitimate.
+func Root(key string) string {
+	return lookup(context.Background(), key)
+}
+
+func Pump(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ch <- 1:
+		}
+	}
+}
+
+func Counted(ctx context.Context, ch chan int, n int) {
+	for i := 0; i < n; i++ { // bounded loop: terminates on its own
+		ch <- i
+	}
+}
+
+func Buffered(n int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- n }() // buffered: the send cannot block
+	return <-ch
+}
+
+func SafeSend(ctx context.Context, n int) int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- n:
+		case <-ctx.Done():
+		}
+	}()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func DefaultSend(n int) int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- n:
+		default:
+		}
+	}()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}

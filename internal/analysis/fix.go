@@ -8,6 +8,71 @@ import (
 	"strings"
 )
 
+// ApplyFixes writes every suggested fix of the given diagnostics back to the
+// source files in place and returns the files changed, sorted. Edits are
+// grouped per file across diagnostics; overlapping edits (two fixes touching
+// the same bytes) abort the whole apply with no file modified, so a partial
+// rewrite can never be committed by accident.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) ([]string, error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	perFile := make(map[string][]edit)
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				p, q := fset.Position(e.Pos), fset.Position(e.End)
+				if p.Filename != q.Filename {
+					return nil, fmt.Errorf("analysis: fix %q spans files", fix.Message)
+				}
+				perFile[p.Filename] = append(perFile[p.Filename], edit{p.Offset, q.Offset, e.NewText})
+			}
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	// Validate everything before writing anything.
+	contents := make(map[string][]byte, len(files))
+	for _, file := range files {
+		edits := perFile[file]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end {
+				return nil, fmt.Errorf("analysis: overlapping fixes in %s (offsets %d and %d); apply one and re-run",
+					RelPath("", file), edits[i-1].start, edits[i].start)
+			}
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes: %v", err)
+		}
+		var out []byte
+		cursor := 0
+		for _, e := range edits {
+			if e.end > len(src) {
+				return nil, fmt.Errorf("analysis: fix offset %d beyond %s (%d bytes); file changed since analysis",
+					e.end, RelPath("", file), len(src))
+			}
+			out = append(out, src[cursor:e.start]...)
+			out = append(out, e.text...)
+			cursor = e.end
+		}
+		out = append(out, src[cursor:]...)
+		contents[file] = out
+	}
+	for _, file := range files {
+		if err := os.WriteFile(file, contents[file], 0o644); err != nil {
+			return files, fmt.Errorf("analysis: applying fixes: %v", err)
+		}
+	}
+	return files, nil
+}
+
 // RenderFix formats one suggested fix as a dry-run unified-style diff: the
 // affected source lines before and after the edits, prefixed -/+. Nothing
 // is written back; the rendering exists so a finding's remediation can be

@@ -31,6 +31,7 @@ var AlgorithmPackages = map[string]bool{
 var Analyzer = &analysis.Analyzer{
 	Name: "maporder",
 	Doc:  "flags range-over-map in algorithm packages (map iteration order is randomized; iterate a sorted key slice instead)",
+	URL:  "DESIGN.md#determinism--invariants",
 	Run:  run,
 }
 

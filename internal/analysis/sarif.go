@@ -32,8 +32,10 @@ type sarifDriver struct {
 }
 
 type sarifRule struct {
-	ID               string       `json:"id"`
-	ShortDescription sarifMessage `json:"shortDescription"`
+	ID               string        `json:"id"`
+	ShortDescription sarifMessage  `json:"shortDescription"`
+	FullDescription  *sarifMessage `json:"fullDescription,omitempty"`
+	HelpURI          string        `json:"helpUri,omitempty"`
 }
 
 type sarifMessage struct {
@@ -79,10 +81,15 @@ func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer, root str
 	ruleIndex := make(map[string]int)
 	for _, az := range analyzers {
 		ruleIndex[az.Name] = len(driver.Rules)
-		driver.Rules = append(driver.Rules, sarifRule{
+		rule := sarifRule{
 			ID:               az.Name,
 			ShortDescription: sarifMessage{Text: az.Doc},
-		})
+			HelpURI:          az.URL,
+		}
+		if az.Doc != "" {
+			rule.FullDescription = &sarifMessage{Text: az.Doc}
+		}
+		driver.Rules = append(driver.Rules, rule)
 	}
 	results := []sarifResult{}
 	for _, d := range diags {

@@ -22,6 +22,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "seededrand",
 	Doc:  "forbids global math/rand state and wall-clock seeding in library code; randomness must flow from an explicit seed parameter",
+	URL:  "DESIGN.md#determinism--invariants",
 	Run:  run,
 }
 

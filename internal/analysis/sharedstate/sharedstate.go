@@ -23,6 +23,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "sharedstate",
 	Doc:  "flags go-statement closures in algorithm packages that capture loop variables or write captured state without index-partitioned access (use internal/parallel.ForEach)",
+	URL:  "DESIGN.md#parallel-execution",
 	Run:  run,
 }
 
@@ -31,6 +32,9 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
+		if analysis.SkipFile(pass.Fset, f) {
+			continue
+		}
 		// loops maps each enclosing-loop variable object to its loop body,
 		// so a closure can be tested for "spawned inside that loop".
 		loops := map[types.Object]*ast.BlockStmt{}

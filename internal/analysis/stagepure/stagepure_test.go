@@ -1,0 +1,28 @@
+package stagepure_test
+
+import (
+	"testing"
+
+	"sllt/internal/analysis"
+	"sllt/internal/analysis/stagepure"
+)
+
+func TestPureFlow(t *testing.T) {
+	analysis.RunTest(t, stagepure.Analyzer, "testdata/src/pureflow")
+}
+
+func TestImpure(t *testing.T) {
+	analysis.RunTest(t, stagepure.Analyzer, "testdata/src/impure")
+}
+
+func TestCrossPackage(t *testing.T) {
+	analysis.RunTest(t, stagepure.Analyzer, "testdata/src/xstage", "testdata/src/xhelper")
+}
+
+func TestPureTypeContract(t *testing.T) {
+	analysis.RunTest(t, stagepure.Analyzer, "testdata/src/puretype")
+}
+
+func TestFieldSensitivity(t *testing.T) {
+	analysis.RunTest(t, stagepure.Analyzer, "testdata/src/fieldsens")
+}

@@ -1,0 +1,67 @@
+// Package fieldsens exercises one-level field-sensitive mutation tracking:
+// a builder struct that retains caller slices read-only in some fields while
+// mutating private state in others must not implicate the annotated caller,
+// but an aliased field that IS written still must.
+package fieldsens
+
+// state is the solver scratchpad: xs is retained read-only from the caller,
+// work is a private copy, out is fresh output storage.
+type state struct {
+	xs   []float64
+	work []int
+	out  []float64
+	gain float64
+}
+
+// build wires the scratchpad: xs is aliased but never written; work is a
+// genuine copy (ref-free int elements), so mutating it is private.
+func build(xs []float64, assign []int) *state {
+	st := &state{
+		xs:   xs,
+		work: append([]int(nil), assign...),
+	}
+	st.out = make([]float64, len(xs))
+	st.gain = 2
+	return st
+}
+
+func (st *state) step(i int) {
+	st.work[i]++                   // private copy: silent
+	st.out[i] = st.xs[i] * st.gain // fresh storage fed from a read: silent
+}
+
+func (st *state) grow() {
+	st.gain *= 2 // receiver field of unknown ownership, but not xs/work
+}
+
+// stage: smooth
+func Smooth(xs []float64, assign []int) []float64 {
+	st := build(xs, assign)
+	for i := range assign {
+		st.step(i)
+	}
+	st.grow()
+	return st.out
+}
+
+// scaleXS writes through the retained caller slice.
+func (st *state) scaleXS(f float64) {
+	for i := range st.xs {
+		st.xs[i] *= f
+	}
+}
+
+// pure:
+func Leak(xs []float64) float64 { // want "mutates cache-key argument \"xs\""
+	st := &state{xs: xs}
+	st.scaleXS(2)
+	return st.gain
+}
+
+// pure:
+func LeakLate(xs []float64) float64 { // want "mutates cache-key argument \"xs\""
+	st := &state{}
+	st.xs = xs
+	st.scaleXS(3)
+	return st.gain
+}

@@ -1,0 +1,94 @@
+// Package impure is the positive fixture: every annotated function violates
+// the purity contract in one distinct way.
+package impure
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+var counter int
+
+var table = map[string]int{}
+
+// put makes table a mutated global, so reads of it elsewhere are stale.
+func put(k string) { table[k] = 1 }
+
+// stage: clock
+func Clock(pts []float64) float64 { // want "reads the wall clock (time.Now)"
+	_ = time.Now()
+	return pts[0]
+}
+
+// stage: entropy
+func Entropy(n int) int { // want "draws from the global rand stream (math/rand.Intn)"
+	return rand.Intn(n)
+}
+
+// pure:
+func Bump() int { // want "writes package-level var" "reads package-level var"
+	counter++
+	return counter
+}
+
+// stage: stale
+func Stale(k string) int { // want "reads package-level var"
+	return table[k]
+}
+
+// stage: loud
+func Loud(x int) int { // want "performs I/O (fmt.Println)"
+	fmt.Println(x)
+	return x
+}
+
+// pure:
+func Dump(x []byte) error { // want "performs I/O (os.WriteFile)"
+	return os.WriteFile("x", x, 0o644)
+}
+
+// stage: sortinplace
+func SortInPlace(xs []float64) []float64 { // want "mutates cache-key argument \"xs\""
+	sort.Float64s(xs)
+	return xs
+}
+
+type node struct {
+	val  float64
+	next *node
+}
+
+// pure:
+func Scale(n *node, f float64) { // want "mutates cache-key argument \"n\""
+	n.val *= f
+}
+
+// zero is unannotated: its mutation propagates to annotated callers.
+func zero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// stage: wipe
+func Wipe(xs []float64) []float64 { // want "mutates cache-key argument \"xs\" (via zero)"
+	zero(xs)
+	return xs
+}
+
+// stage: dyn
+func Dyn(xs []float64, f func(float64) float64) []float64 { // want "calls through f"
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}
+
+// stage:
+func NoName(x int) int { // want "stage annotation on NoName needs a name"
+	return x
+}

@@ -1,0 +1,57 @@
+// Package pureflow is the negative fixture: every annotated function obeys
+// the purity contract, so the analyzer must stay silent.
+package pureflow
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// lut is written only at declaration: effectively constant, free to read.
+var lut = []float64{1, 2, 4, 8}
+
+// stage: partition
+func Partition(pts []float64, k int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, len(pts))
+	for i := range out {
+		out[i] = rng.Intn(k)
+	}
+	local := append([]float64(nil), pts...) // copy, then sort the copy
+	sort.Float64s(local)
+	scale := lut[k%len(lut)]
+	_ = math.Sqrt(scale)
+	return out
+}
+
+// pure: absolute gap between two costs
+func Cost(a, b float64) float64 { return math.Abs(a - b) }
+
+// stage: route
+func Route(order []int) []int {
+	return normalize(order)
+}
+
+// normalize copies before sorting, so the stage's input stays intact.
+func normalize(order []int) []int {
+	out := make([]int, len(order))
+	copy(out, order)
+	sort.Ints(out)
+	return out
+}
+
+// each is an unannotated fan-out helper: calling its func parameter is
+// accounted by the caller, whose closure effects merge into its own summary.
+func each(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// stage: cluster
+func Cluster(pts []float64) []float64 {
+	out := make([]float64, len(pts))
+	each(len(pts), func(i int) { out[i] = pts[i] * 2 })
+	return out
+}

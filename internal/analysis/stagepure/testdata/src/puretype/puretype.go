@@ -1,0 +1,32 @@
+// Package puretype exercises the // pure: contract annotation on named
+// function types: dynamic calls through such a type are trusted, raw func
+// parameters in annotated functions are not.
+package puretype
+
+// Builder constructs a topology over the points.
+// pure: contract
+type Builder func(xs []float64) []int
+
+// pure: contract
+type Weight float64 // want "pure annotation on type Weight, which is not a function type"
+
+// stage: topo
+func Topo(xs []float64, b Builder) []int {
+	return b(xs)
+}
+
+// stage: rawtopo
+func RawTopo(xs []float64, b func([]float64) []int) []int { // want "calls through b"
+	return b(xs)
+}
+
+// Half is a conforming Builder implementation; its own contract is checked
+// here, where it is declared.
+// pure:
+func Half(xs []float64) []int {
+	out := make([]int, len(xs)/2)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

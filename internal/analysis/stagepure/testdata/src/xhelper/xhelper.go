@@ -1,0 +1,23 @@
+// Package xhelper is the unannotated cross-package helper whose impurities
+// must surface at annotated callers in other packages.
+package xhelper
+
+import "time"
+
+// Jitter perturbs xs in place by the current time — both a wall-clock read
+// and a mutation of its argument.
+func Jitter(xs []float64) {
+	t := float64(time.Now().UnixNano())
+	for i := range xs {
+		xs[i] += t
+	}
+}
+
+// Sum is pure: annotated callers may use it freely.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

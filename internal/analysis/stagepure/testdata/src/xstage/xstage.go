@@ -1,0 +1,24 @@
+// Package xstage holds annotated stages whose violations live in another
+// fixture package (xhelper) or outside the lint batch entirely.
+package xstage
+
+import (
+	"sllt/internal/analysis/stagepure/testdata/src/xhelper"
+	"sllt/internal/geom"
+)
+
+// stage: jitter
+func Jitter(xs []float64) []float64 { // want "reads the wall clock (time.Now) (via Jitter)" "mutates cache-key argument \"xs\" (via Jitter)"
+	xhelper.Jitter(xs)
+	return xs
+}
+
+// pure:
+func Total(xs []float64) float64 {
+	return xhelper.Sum(xs)
+}
+
+// pure:
+func Near(a, b float64) bool { // want "outside this lint batch"
+	return geom.AlmostEqual(a, b)
+}

@@ -33,6 +33,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name:    "unitflow",
 	Doc:     "check physical-unit consistency (ps, fF, µm, kΩ) of annotated quantities",
+	URL:     "DESIGN.md#units--static-verification",
 	Prepare: prepare,
 	Run:     run,
 }

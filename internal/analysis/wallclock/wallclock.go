@@ -17,6 +17,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc:  "forbids time.Now in algorithm packages; construction must be a pure function of inputs and seed",
+	URL:  "DESIGN.md#determinism--invariants",
 	Run:  run,
 }
 

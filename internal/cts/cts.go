@@ -61,6 +61,11 @@ const (
 
 // TopoBuilder builds a routing topology for one clock net under the given
 // DME options (model, per-level skew bound, sink delay annotations).
+// Builders run inside cached stages, so every value of this type must be a
+// pure function of (net, dopts): no clock, no unseeded randomness, no
+// mutable package state, no mutation of the net.
+//
+// pure: contract
 type TopoBuilder func(net *tree.Net, dopts dme.Options) (*tree.Tree, error)
 
 // CBSBuilder returns the default engine: the paper's CBS construction.
@@ -159,7 +164,12 @@ type clockNode struct {
 	sub   *tree.Node
 }
 
-// Run synthesizes the clock tree for the design.
+// Run synthesizes the clock tree for the design. The whole flow is a pure
+// function of (d, opts) — the contract ROADMAP's content-addressed stage
+// cache keys against; stagepure verifies it transitively, stopping at the
+// annotated stage boundaries below.
+//
+// stage: flow
 func Run(d *design.Design, opts Options) (*Result, error) {
 	flat := d.Net()
 	if err := flat.Validate(); err != nil {
@@ -198,14 +208,7 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 		res.Levels++
 	}
 
-	// Top net: from the clock root to the remaining nodes.
-	tsp := opts.Obs.Begin("top_net")
-	var topQ *obs.NetQoR
-	if opts.Obs.Enabled() {
-		topQ = &obs.NetQoR{}
-	}
-	top, err := buildNet(d.ClockRoot, nodes, opts, ins, levelBound, true, topQ)
-	tsp.End()
+	top, topQ, err := buildTopNet(d.ClockRoot, nodes, opts, ins, levelBound)
 	if err != nil {
 		return nil, fmt.Errorf("cts top net: %w", err)
 	}
@@ -266,15 +269,16 @@ func levelShare(skew float64, levelsLeft int) float64 {
 	return skew / float64(levelsLeft)
 }
 
-// buildLevel partitions the nodes, builds one buffered net per cluster and
-// returns the next level's nodes.
+// partitionLevel is the paper's step (1): balanced k-means over the level's
+// balancing points (restarted and silhouette-scored when asked), min-cost
+// flow assignment under the fanout cap, and optional SA refinement. It
+// returns each node's cluster, the cluster count, the assignment method
+// that ran, and the SA stats when observability wants them — a pure
+// function of (nodes, opts, level), which is what makes the partition stage
+// cacheable on that key.
 //
-// unit: levelBound ps ->
-func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, level int) ([]clockNode, int, error) {
-	lv := opts.Obs.Begin("level")
-	defer lv.End()
-	kprev := opts.Obs.Kernel().Snapshot()
-
+// stage: partition
+func partitionLevel(nodes []clockNode, opts Options, level int, lv *obs.Span) ([]int, int, string, *partition.SAStats, error) {
 	pts := make([]geom.Point, len(nodes))
 	caps := make([]float64, len(nodes))
 	var capTotal float64
@@ -292,7 +296,11 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 	}
 
 	psp := lv.Begin("partition")
-	centers := bestClustering(pts, k, opts, level, psp)
+	defer psp.End()
+	centers, err := bestClustering(pts, k, opts, level, psp)
+	if err != nil {
+		return nil, 0, "", nil, err
+	}
 	assign, method := partition.BalancedAssignK(pts, centers, opts.Cons.MaxFanout, opts.Obs.Kernel())
 	var saStats *partition.SAStats
 	if opts.UseSA {
@@ -314,7 +322,22 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 		}
 		assign = partition.RefineSA(pts, caps, k, assign, sa)
 	}
-	psp.End()
+	return assign, k, method, saStats, nil
+}
+
+// buildLevel partitions the nodes, builds one buffered net per cluster and
+// returns the next level's nodes.
+//
+// unit: levelBound ps ->
+func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, level int) ([]clockNode, int, error) {
+	lv := opts.Obs.Begin("level")
+	defer lv.End()
+	kprev := opts.Obs.Kernel().Snapshot()
+
+	assign, k, method, saStats, err := partitionLevel(nodes, opts, level, lv)
+	if err != nil {
+		return nil, 0, err
+	}
 
 	// Bucket members per cluster with exact capacities (one counting pass),
 	// then carve each cluster's node slice out of a single shared backing
@@ -361,7 +384,7 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 		qors = make([]obs.NetQoR, len(clusters))
 	}
 	next := make([]clockNode, len(clusters))
-	err := parallel.ForEachSpan(opts.Workers, len(clusters), csp, "cluster", func(ci int) error {
+	err = parallel.ForEachSpan(opts.Workers, len(clusters), csp, "cluster", func(ci int) error {
 		cluster := clusters[ci]
 		src := centroidOf(cluster)
 		var q *obs.NetQoR
@@ -471,8 +494,11 @@ func levelQoR(level int, nodes []clockNode, clusters [][]clockNode, next []clock
 // from its index (base + r·1009), never from a shared stream — so they fan
 // out across workers, each task writing only its own slot; the best-score
 // reduction then runs serially in restart order so ties keep the earliest
-// restart, exactly like the serial loop.
-func bestClustering(pts []geom.Point, k int, opts Options, level int, sp *obs.Span) []geom.Point {
+// restart, exactly like the serial loop. A restart can only fail by
+// panicking, which the fan-out surfaces as a *parallel.PanicError; it must
+// be propagated, not dropped — a swallowed panic here would hand the
+// assignment step zero-valued centers.
+func bestClustering(pts []geom.Point, k int, opts Options, level int, sp *obs.Span) ([]geom.Point, error) {
 	kern := opts.Obs.Kernel()
 	restarts := opts.KMeansRestarts
 	if restarts < 1 {
@@ -481,7 +507,7 @@ func bestClustering(pts []geom.Point, k int, opts Options, level int, sp *obs.Sp
 	base := opts.Seed + int64(level)
 	if restarts == 1 {
 		centers, _ := partition.KMeansPK(pts, k, 24, base, opts.Workers, kern)
-		return centers
+		return centers, nil
 	}
 	// Split the worker budget: the outer fan-out covers the restarts, the
 	// remainder parallelizes each restart's k-means and silhouette passes.
@@ -495,19 +521,43 @@ func bestClustering(pts []geom.Point, k int, opts Options, level int, sp *obs.Sp
 		score   float64
 	}
 	results := make([]restartResult, restarts)
-	parallel.ForEachSpan(outer, restarts, sp, "restart", func(r int) error {
+	if err := parallel.ForEachSpan(outer, restarts, sp, "restart", func(r int) error {
 		c, a := partition.KMeansPK(pts, k, 24, base+int64(r)*1009, inner, kern)
 		s, sa := silhouetteSample(pts, a, 2500)
 		results[r] = restartResult{c, partition.SilhouetteP(s, sa, k, inner)}
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	best := results[0]
 	for r := 1; r < restarts; r++ {
 		if results[r].score > best.score {
 			best = results[r]
 		}
 	}
-	return best.centers
+	return best.centers, nil
+}
+
+// buildTopNet is the flow's final construction stage: one buffered net from
+// the clock source to the surviving cluster drivers. Returns the finished
+// tree and, when observability is on, the net's own QoR (wire and buffers
+// before grafting pulls the lower levels in).
+//
+// stage: top_net
+//
+// unit: levelBound ps ->
+func buildTopNet(root geom.Point, nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64) (*tree.Tree, *obs.NetQoR, error) {
+	tsp := opts.Obs.Begin("top_net")
+	defer tsp.End()
+	var topQ *obs.NetQoR
+	if opts.Obs.Enabled() {
+		topQ = &obs.NetQoR{}
+	}
+	top, err := buildNet(root, nodes, opts, ins, levelBound, true, topQ)
+	if err != nil {
+		return nil, nil, err
+	}
+	return top, topQ, nil
 }
 
 // silhouetteSample deterministically subsamples points (stride sampling)
@@ -542,7 +592,11 @@ func centroidOf(nodes []clockNode) geom.Point {
 // the nodes' subtrees under the new net's leaves. The returned tree is
 // rooted at a Source node at src.
 //
+// stage: cluster_build
+//
 // unit: levelBound ps ->
+//
+//slltlint:ignore stagepure grafting is ownership transfer: nodes[i].sub becomes part of the returned tree (only Parent back-links are set), so caching the stage's full output remains sound
 func buildNet(src geom.Point, nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, top bool, q *obs.NetQoR) (*tree.Tree, error) {
 	net := &tree.Net{Name: "lvl", Source: src}
 	for i := range nodes {

@@ -1,11 +1,16 @@
 package cts
 
 import (
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
 	"sllt/internal/designgen"
 	"sllt/internal/dme"
 	"sllt/internal/invariants"
+	"sllt/internal/parallel"
+	"sllt/internal/tree"
 )
 
 func TestRunSmallDesign(t *testing.T) {
@@ -153,5 +158,39 @@ func TestLevelShare(t *testing.T) {
 	}
 	if estLevels(10, 32) != 1 {
 		t.Errorf("estLevels(10,32) = %d, want 1", estLevels(10, 32))
+	}
+}
+
+// TestRunPropagatesBuilderFailure pins the error plumbing through the
+// parallel fan-outs: a builder that fails — by error or by panic — must
+// surface from Run, never be swallowed into a partial tree. (A dropped
+// fan-out error would hand later stages zero-valued results; the restart
+// fan-out in bestClustering had exactly that hole.)
+func TestRunPropagatesBuilderFailure(t *testing.T) {
+	spec := designgen.Spec{Name: "unit", Insts: 500, FFs: 80, Util: 0.6}
+	d := designgen.Generate(spec, 3)
+	opts := DefaultOptions()
+	opts.SAIters = 0
+	opts.KMeansRestarts = 2 // exercise the restart fan-out path too
+	opts.Build = func(net *tree.Net, dopts dme.Options) (*tree.Tree, error) {
+		return nil, errors.New("builder rejected net")
+	}
+	if _, err := Run(d, opts); err == nil || !strings.Contains(err.Error(), "builder rejected net") {
+		t.Fatalf("Run did not surface builder error, got %v", err)
+	}
+
+	opts.Build = func(net *tree.Net, dopts dme.Options) (*tree.Tree, error) {
+		panic("builder exploded")
+	}
+	_, err := Run(d, opts)
+	if err == nil {
+		t.Fatal("Run swallowed builder panic")
+	}
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *parallel.PanicError, got %T: %v", err, err)
+	}
+	if !strings.Contains(fmt.Sprint(pe.Value), "builder exploded") {
+		t.Fatalf("panic value lost: %v", pe.Value)
 	}
 }

@@ -44,6 +44,15 @@ func (m Model) String() string {
 	return "elmore"
 }
 
+// SinkFn annotates a sink with a per-sink scalar (its downstream delay or
+// load capacitance). Values of this type are called from inside the
+// bottom-up merge, so any side effect or hidden input would leak into the
+// embedding; implementations must be pure functions of (i, s) and whatever
+// immutable data they close over.
+//
+// pure: contract
+type SinkFn func(i int, s tree.PinSink) float64
+
 // Options configures a DME run.
 type Options struct {
 	// Model is the wire delay model (default Linear).
@@ -56,10 +65,10 @@ type Options struct {
 	// SinkDelay optionally gives each sink an initial downstream delay
 	// (hierarchical CTS balances cluster roots that already drive subtrees).
 	// Nil means zero for all sinks.
-	SinkDelay func(i int, s tree.PinSink) float64
+	SinkDelay SinkFn
 	// SinkCap optionally overrides each sink's load capacitance for Elmore
 	// merging. Nil uses s.Cap.
-	SinkCap func(i int, s tree.PinSink) float64
+	SinkCap SinkFn
 	// RegionGreed in (0,1] controls how much of the skew slack merging
 	// regions may consume. Small values approach classic ZST-style merging
 	// segments (one split per merge); 1 grows each region to the full union
@@ -118,7 +127,11 @@ type mnode struct {
 
 // Build runs DME over the given merging topology and returns the embedded
 // clock tree rooted at the net's source. The topology must cover all sinks
-// of the net exactly once (tree.Topo.Validate).
+// of the net exactly once (tree.Topo.Validate). The result is a pure
+// function of (net, topo, opts): stagepure verifies the whole merge reaches
+// no clock, randomness or mutable package state.
+//
+// pure:
 func Build(net *tree.Net, topo *tree.Topo, opts Options) (*tree.Tree, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err

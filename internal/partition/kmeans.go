@@ -72,6 +72,8 @@ func KMeansP(pts []geom.Point, k, iters int, seed int64, workers int) ([]geom.Po
 // bumps kern.KMeansIters and the assignment pass's grid reports its query
 // counts, when kern is non-nil. The counters never feed back into the
 // algorithm, so KMeansPK(… , nil) and KMeansP are the same function.
+//
+// pure:
 func KMeansPK(pts []geom.Point, k, iters int, seed int64, workers int, kern *obs.KernelCounters) ([]geom.Point, []int) {
 	n := len(pts)
 	if k < 1 {
@@ -292,6 +294,8 @@ func Silhouette(pts []geom.Point, assign []int, k int) float64 {
 // stratified-sample estimate: every cluster contributes a stride sample
 // proportional to its size, and the exact kernel runs on the sample. Below
 // the threshold the result is exact.
+//
+// pure:
 func SilhouetteP(pts []geom.Point, assign []int, k, workers int) float64 {
 	if len(pts) > silhouetteExactThreshold {
 		sp, sa := stratifiedSample(pts, assign, k, silhouetteSampleTarget)
@@ -415,6 +419,8 @@ func BalancedAssign(pts []geom.Point, centers []geom.Point, cap int) []int {
 // BalancedAssignK is BalancedAssign with run-report attribution: it also
 // returns which solver ran ("mcf" or "greedy"), and the flow solver bumps
 // kern.MCFAugments per augmenting path when kern is non-nil.
+//
+// pure:
 func BalancedAssignK(pts []geom.Point, centers []geom.Point, cap int, kern *obs.KernelCounters) ([]int, string) {
 	if cap*len(centers) < len(pts) {
 		cap = (len(pts) + len(centers) - 1) / len(centers)

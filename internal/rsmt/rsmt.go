@@ -29,6 +29,8 @@ func Build(net *tree.Net) *tree.Tree {
 // BuildK is Build with kernel-counter attribution (MST builds and points,
 // Steiner insertions, edge-swap moves). A nil kern makes it exactly Build;
 // the counters never feed back into any construction decision.
+//
+// pure:
 func BuildK(net *tree.Net, kern *obs.KernelCounters) *tree.Tree {
 	if len(net.Sinks)+1 <= hananThreshold {
 		t := buildSmall(net)
@@ -57,6 +59,8 @@ func WL(net *tree.Net) float64 { return Build(net).Wirelength() }
 // is exact and fast for clock-net sizes (tens of pins); above it the
 // grid-accelerated Prim takes over, returning the identical parent array
 // (see mstGrid) in near-linear time.
+//
+// pure:
 func MST(pts []geom.Point) []int {
 	return MSTK(pts, nil)
 }
