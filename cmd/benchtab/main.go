@@ -12,8 +12,11 @@
 //	benchtab -table 6 -workers 8      # spread independent work over 8 cores
 //	benchtab -table smoke -workers 8  # print the flow's DEF digest (CI oracle)
 //	benchtab -table 2 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	benchtab -table 6 -stages -cache  # per-stage wall clock + cache hit rates
+//	benchtab -table cachesmoke        # flow twice vs one store (CI oracle)
 //	benchtab -benchjson                            # kernel trajectory -> BENCH_4.json
 //	benchtab -benchjson -benchtiers 1000 -benchout BENCH_4.json  # CI smoke tier
+//	benchtab -cachejson                            # stage-cache warm/cold + ECO -> BENCH_5.json
 //
 // -workers parallelizes the independent units of each table (per-cluster
 // net builds inside a flow, per-cell net streams in Tables 2/3, the seven
@@ -21,10 +24,20 @@
 // smoke` exists so CI can assert exactly that, by diffing the digest line
 // across worker counts.
 //
+// -cache attaches a content-addressed stage cache to the flow tables (6/7)
+// so repeated invocations replay instead of recompute; -cachedir adds the
+// on-disk tier so the warmth survives across processes. With -stages the
+// per-stage table gains hit-rate columns. `-table cachesmoke` is the CI
+// oracle for the cache itself: it runs the smoke flow twice against one
+// store and exits non-zero unless the second run's DEF is byte-identical
+// and its cluster-stage hit rate is at least 90%.
+//
 // -benchjson bypasses the tables entirely and runs the spatial-index kernel
 // benchmarks (MST, Steinerize, k-means assignment, silhouette) at each
 // -benchtiers sink count, writing machine-readable results to -benchout.
-// Quadratic reference kernels only run on tiers ≤ -benchrefmax.
+// Quadratic reference kernels only run on tiers ≤ -benchrefmax. -cachejson
+// does the same for the stage cache (cold vs warm replay, plus an ECO tier
+// moving 1% of sinks), writing the BENCH_5.json trajectory to -cacheout.
 package main
 
 import (
@@ -39,12 +52,13 @@ import (
 	"strings"
 
 	"sllt/internal/bench"
+	"sllt/internal/cache"
 	"sllt/internal/cts"
 	"sllt/internal/designgen"
 )
 
 func main() {
-	table := flag.String("table", "all", "table to regenerate: 1|2|3|6|7|smoke|all")
+	table := flag.String("table", "all", "table to regenerate: 1|2|3|6|7|smoke|cachesmoke|all")
 	nets := flag.Int("nets", 400, "random nets per cell for tables 2/3 (paper: 10000)")
 	seed := flag.Int64("seed", 1, "seed")
 	scale := flag.Float64("scale", 1.0, "design size scale factor for tables 6/7")
@@ -56,6 +70,10 @@ func main() {
 	benchtiers := flag.String("benchtiers", "1000,10000,100000", "comma-separated sink tiers for -benchjson")
 	benchout := flag.String("benchout", "BENCH_4.json", "output file for -benchjson")
 	benchrefmax := flag.Int("benchrefmax", 10000, "largest tier on which the quadratic reference kernels run")
+	useCache := flag.Bool("cache", false, "attach a content-addressed stage cache to the flow tables (replays identical stages; output bytes unchanged)")
+	cacheDir := flag.String("cachedir", "", "on-disk tier directory for -cache (persists warmth across invocations; implies -cache)")
+	cachejson := flag.Bool("cachejson", false, "run the stage-cache warm/cold + ECO benchmarks and write JSON instead of tables")
+	cacheout := flag.String("cacheout", "BENCH_5.json", "output file for -cachejson")
 	flag.Parse()
 
 	if *benchjson {
@@ -63,6 +81,21 @@ func main() {
 			fatal(fmt.Errorf("benchjson: %w", err))
 		}
 		return
+	}
+	if *cachejson {
+		if err := runCacheJSON(*seed, *workers, *cacheout); err != nil {
+			fatal(fmt.Errorf("cachejson: %w", err))
+		}
+		return
+	}
+
+	var store *cache.Cache
+	if *useCache || *cacheDir != "" {
+		var err error
+		store, err = cache.New(cache.Config{Dir: *cacheDir})
+		if err != nil {
+			fatal(fmt.Errorf("cache: %w", err))
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -121,9 +154,12 @@ func main() {
 	})
 	flowTable := func(title string, specs []designgen.Spec) error {
 		var results []bench.FlowResult
-		if *stages {
+		switch {
+		case store != nil:
+			results = bench.RunFlowsCached(specs, *seed, *workers, *stages, store)
+		case *stages:
 			results = bench.RunFlowsObs(specs, *seed, *workers)
-		} else {
+		default:
 			results = bench.RunFlows(specs, *seed, *workers)
 		}
 		fmt.Println(bench.FormatFlowTable(title, results))
@@ -144,8 +180,17 @@ func main() {
 	// so `benchtab -table smoke -workers 1` and `-workers 8` must print the
 	// same line, byte for byte.
 	if *table == "smoke" {
-		if err := smoke(*seed, *workers); err != nil {
+		if err := smoke(*seed, *workers, store); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: smoke: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// cachesmoke is the cache's own CI oracle (also outside "all"): the same
+	// flow runs twice against one store, and the process fails unless the
+	// replayed run is byte-identical with a >=90% cluster-stage hit rate.
+	if *table == "cachesmoke" {
+		if err := cacheSmoke(*seed, *workers, *cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: cachesmoke: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -164,8 +209,10 @@ func main() {
 }
 
 // smoke runs the paper's flow on a reduced s38584-class design and prints
-// the SHA-256 of the post-CTS DEF plus the headline metrics.
-func smoke(seed int64, workers int) error {
+// the SHA-256 of the post-CTS DEF plus the headline metrics. An attached
+// store must not change the digest line — the parallel-determinism oracle
+// doubles as the cache-transparency one when CI passes -cache.
+func smoke(seed int64, workers int, store *cache.Cache) error {
 	// The oracle must exercise real goroutine interleaving even on small CI
 	// boxes, where GOMAXPROCS would otherwise clamp the fan-out to 1.
 	if workers > runtime.GOMAXPROCS(0) {
@@ -176,6 +223,7 @@ func smoke(seed int64, workers int) error {
 	opts := cts.DefaultOptions()
 	opts.SAIters = 200
 	opts.Workers = workers
+	opts.Cache = store
 	res, err := cts.Run(d, opts)
 	if err != nil {
 		return err
@@ -183,6 +231,69 @@ func smoke(seed int64, workers int) error {
 	def := cts.ExportDEF(d, res).WriteDEF()
 	fmt.Printf("smoke def_sha256=%x bytes=%d levels=%d buffers=%d skew_ps=%.3f\n",
 		sha256.Sum256([]byte(def)), len(def), res.Levels, res.Report.Buffers, res.Report.Skew)
+	return nil
+}
+
+// cacheSmoke runs the smoke flow twice against one store and asserts the
+// replay contract CI depends on: the second run's DEF must be byte-identical
+// to the first and its cluster-stage hit rate at least 90%. A non-empty dir
+// adds the on-disk tier so the step also exercises entry encode/decode. The
+// design and options match smoke() exactly, so CI can additionally diff the
+// digest against the uncached smoke line — three-way transparency.
+func cacheSmoke(seed int64, workers int, dir string) error {
+	store, err := cache.New(cache.Config{Dir: dir})
+	if err != nil {
+		return err
+	}
+	spec := designgen.Spec{Name: "smoke", Insts: 1500, FFs: 300, Util: 0.60}
+	opts := cts.DefaultOptions()
+	opts.SAIters = 200
+	opts.Workers = workers
+	opts.Cache = store
+
+	var digests [2][32]byte
+	for pass := 0; pass < 2; pass++ {
+		prev := store.Stats()
+		d := designgen.Generate(spec, seed)
+		res, err := cts.Run(d, opts)
+		if err != nil {
+			return err
+		}
+		def := cts.ExportDEF(d, res).WriteDEF()
+		digests[pass] = sha256.Sum256([]byte(def))
+		cs := store.Stats().Sub(prev).Stages["cluster_build"]
+		fmt.Printf("cachesmoke pass=%d def_sha256=%x cluster_hits=%d cluster_misses=%d hit_rate=%.3f\n",
+			pass+1, digests[pass], cs.Hits, cs.Misses, cs.HitRate())
+		if pass == 1 {
+			if digests[1] != digests[0] {
+				return fmt.Errorf("replayed DEF differs from cold run")
+			}
+			if cs.HitRate() < 0.90 {
+				return fmt.Errorf("cluster-stage hit rate %.3f below the 0.90 replay floor", cs.HitRate())
+			}
+		}
+	}
+	return nil
+}
+
+// runCacheJSON measures the stage-cache trajectory (cold vs warm replay,
+// plus the 1%-of-sinks ECO tier) and writes the report both to the console
+// and to out as the committed BENCH_5.json.
+func runCacheJSON(seed int64, workers int, out string) error {
+	rep, err := bench.RunCacheBench(seed, workers)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatCacheBenchReport(rep))
+	fmt.Printf("wrote %s\n", out)
 	return nil
 }
 

@@ -5,16 +5,25 @@
 //
 //	slltcts -lef design.lef -def design.def [-net clk] [-engine ours|commercial|openroad]
 //	        [-out cts.def] [-skew 80] [-fanout 32] [-cap 150] [-workers N]
-//	        [-report run.json] [-trace run.trace]
+//	        [-report run.json] [-trace run.trace] [-cache] [-cachedir DIR]
 //
 // -workers spreads the independent per-cluster net builds of each level
 // over N goroutines. The output DEF is byte-identical for every value —
 // parallelism here changes wall clock, never the tree.
 //
 // -report writes the machine-readable run report (schema
-// "sllt.obs.report/v1": stage span tree, kernel counters, per-level QoR;
-// see internal/obs) and -trace a human-readable span breakdown. Either
-// flag enables observability; neither changes a byte of the DEF output.
+// "sllt.obs.report/v1.1": stage span tree, kernel counters, per-level QoR,
+// and — when caching is on — the cache traffic section; see internal/obs)
+// and -trace a human-readable span breakdown. Either flag enables
+// observability; neither changes a byte of the DEF output.
+//
+// -cache attaches a content-addressed stage cache: stages whose inputs are
+// unchanged since an earlier run replay their stored results instead of
+// recomputing (an ECO re-run after a small placement edit rebuilds only the
+// clusters the edit dirtied). -cachedir DIR adds an on-disk tier so warmth
+// survives across processes — the natural ECO workflow is two slltcts
+// invocations sharing one -cachedir. Cached and uncached runs produce
+// byte-identical DEF output.
 //
 // The engine names select the paper's flow ("ours", CBS-based) or one of
 // the two baseline proxies used in Tables 6/7.
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"sllt/internal/baseline"
+	"sllt/internal/cache"
 	"sllt/internal/cts"
 	"sllt/internal/design"
 	"sllt/internal/lefdef"
@@ -45,8 +55,10 @@ func main() {
 	maxCap := flag.Float64("cap", 150, "max stage capacitance, fF")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for per-cluster builds (<=1 serial; output is identical for any value)")
-	reportPath := flag.String("report", "", "write the run report (canonical JSON, schema sllt.obs.report/v1) to this file")
+	reportPath := flag.String("report", "", "write the run report (canonical JSON, schema sllt.obs.report/v1.1) to this file")
 	tracePath := flag.String("trace", "", "write a human-readable stage trace to this file")
+	useCache := flag.Bool("cache", false, "replay unchanged stages from a content-addressed cache (output bytes unchanged)")
+	cacheDir := flag.String("cachedir", "", "on-disk cache tier directory (persists across runs for ECO re-use; implies -cache)")
 	flag.Parse()
 
 	if *lefPath == "" || *defPath == "" {
@@ -83,6 +95,12 @@ func main() {
 	if *reportPath != "" || *tracePath != "" {
 		opts.Obs = obs.New(nil)
 	}
+	var store *cache.Cache
+	if *useCache || *cacheDir != "" {
+		store, err = cache.New(cache.Config{Dir: *cacheDir})
+		fatal(err)
+		opts.Cache = store
+	}
 
 	fmt.Printf("slltcts: %s — %d instances, %d clock sinks, die %.0fx%.0f um\n",
 		d.Name, len(d.Insts), d.NumFFs(), d.Die.W(), d.Die.H())
@@ -102,6 +120,11 @@ func main() {
 	fmt.Printf("max stage cap : %.1f fF (limit %.0f)\n", r.MaxStgCap, *maxCap)
 	fmt.Printf("max sink slew : %.1f ps\n", r.MaxSlew)
 	fmt.Printf("runtime       : %.2f s\n", rt.Seconds())
+	if store != nil {
+		total := store.Stats().Total()
+		fmt.Printf("cache         : %d hits / %d misses (%.0f%% replayed)\n",
+			total.Hits, total.Misses, 100*total.HitRate())
+	}
 
 	if *outPath != "" {
 		out, err := cts.ExportDEFFile(*outPath, d, res)

@@ -17,6 +17,18 @@ import (
 // not make a stage uncacheable.
 const obsPath = "sllt/internal/obs"
 
+// cachePath is the content-addressed stage store: calls into it are exempt
+// like obs calls, but for the dual reason — the store only ever replays the
+// outputs of stages this analyzer verified pure, so a hit is observationally
+// identical to recomputing (a property the cached/uncached byte-identity
+// tests in internal/cts enforce at runtime). The exemption covers the store
+// traffic itself (lookup, admission, disk tiers); it does not bless reading
+// any other mutable state inside a stage.
+const cachePath = "sllt/internal/cache"
+
+// exemptPkg reports whether path is exempt from the purity rules.
+func exemptPkg(path string) bool { return path == obsPath || path == cachePath }
+
 // An effectKind classifies one direct impurity.
 type effectKind int
 
@@ -318,7 +330,7 @@ func isObsType(obj types.Object) bool {
 		case *types.Slice:
 			t = u.Elem()
 		case *types.Named:
-			if p := u.Obj().Pkg(); p != nil && p.Path() == obsPath {
+			if p := u.Obj().Pkg(); p != nil && exemptPkg(p.Path()) {
 				return true
 			}
 			return false
@@ -776,7 +788,7 @@ func (c *fctx) checkUse(id *ast.Ident) {
 	if key == "" {
 		return
 	}
-	if pkg := obj.Pkg(); pkg != nil && pkg.Path() == obsPath {
+	if pkg := obj.Pkg(); pkg != nil && exemptPkg(pkg.Path()) {
 		return
 	}
 	if _, mutated := c.reg.mutGlobal[key]; mutated {
@@ -837,8 +849,8 @@ func (c *fctx) funcRef(fn *types.Func, recvExpr ast.Expr, call *ast.CallExpr, po
 		return // universe scope: error.Error
 	}
 	path := pkg.Path()
-	if path == obsPath {
-		return // observer exemption
+	if exemptPkg(path) {
+		return // observer / stage-store exemption
 	}
 	sig, _ := fn.Type().(*types.Signature)
 	if sig != nil && sig.Recv() != nil {

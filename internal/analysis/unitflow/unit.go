@@ -14,6 +14,7 @@ import (
 //	fF  capacitance
 //	um  length
 //	ns  wall-clock time (observability spans)
+//	B   bytes (cache traffic counters)
 //
 // ns is deliberately its OWN base dimension, not a scaled ps: span
 // timestamps from internal/obs measure the flow's execution, never its
@@ -40,11 +41,12 @@ var baseUnits = map[string]Unit{
 	"kOhm": {"ps": 1, "fF": -1},
 	"kΩ":   {"ps": 1, "fF": -1},
 	"ns":   {"ns": 1},
+	"B":    {"B": 1},
 	"1":    {},
 }
 
 // dimOrder fixes the rendering order of dimensions in diagnostics.
-var dimOrder = []string{"ps", "fF", "um", "ns"}
+var dimOrder = []string{"ps", "fF", "um", "ns", "B"}
 
 // Mul returns the product unit (exponents add).
 func (u Unit) Mul(v Unit) Unit {
@@ -245,7 +247,7 @@ func parseTerm(t string) (Unit, error) {
 	}
 	base, ok := baseUnits[t]
 	if !ok {
-		return nil, fmt.Errorf("unknown unit %q (known: ps, fF, um/µm, kohm/kΩ, ns, 1)", t)
+		return nil, fmt.Errorf("unknown unit %q (known: ps, fF, um/µm, kohm/kΩ, ns, B, 1)", t)
 	}
 	out := make(Unit, len(base))
 	for d, e := range base {

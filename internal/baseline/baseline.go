@@ -32,7 +32,9 @@ func OpenROADLike() cts.Options {
 	opts := cts.DefaultOptions()
 	// TritonCTS routes clusters competently; its weaknesses modeled here
 	// are the estimate-blind balancing, uniform large buffers and deeper
-	// hierarchy, not the per-net router.
+	// hierarchy, not the per-net router. The builder is the same CBS
+	// construction DefaultOptions names, so the inherited BuildID stays
+	// accurate for stage-cache keying.
 	opts.Build = cts.CBSBuilder(dme.GreedyDist, 0.1)
 	opts.Est = cts.EstNone
 	opts.UseSA = false
@@ -48,6 +50,10 @@ func OpenROADLike() cts.Options {
 func CommercialLike() cts.Options {
 	opts := cts.DefaultOptions()
 	opts.Build = bestOfCandidates()
+	// bestOfCandidates replaces the default builder, so it must carry its
+	// own cache identity: the BST-DME candidate sweep over all four topology
+	// generators plus the CBS refinement at SALT eps 0.6.
+	opts.BuildID = "bstdme-bestof4+cbs-refine/0.60"
 	opts.Est = cts.EstExact
 	opts.UseSA = true
 	opts.SAIters = 30000

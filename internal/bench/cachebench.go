@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"sllt/internal/cache"
+	"sllt/internal/cts"
+	"sllt/internal/design"
+	"sllt/internal/designgen"
+)
+
+// CacheBenchResult is one (design, mode) row of the BENCH_5.json stage-cache
+// trajectory. The cold/warm pair measures full-replay economics; the eco
+// rows measure incremental re-runs after a small placement change. Every
+// row carries the exported DEF's digest so the committed artifact doubles
+// as byte-identity evidence: warm must equal cold, and eco must equal the
+// uncached reference run of the moved design.
+type CacheBenchResult struct {
+	Design         string  `json:"design"`
+	Mode           string  `json:"mode"` // cold | warm | eco_cold | eco | eco_ref
+	NsPerRun       int64   `json:"ns_per_run"`
+	Speedup        float64 `json:"speedup,omitempty"` // vs the tier's uncached cost
+	ClusterHits    int64   `json:"cluster_hits"`
+	ClusterMisses  int64   `json:"cluster_misses"`
+	ClusterHitRate float64 `json:"cluster_hit_rate"`
+	DefSHA256      string  `json:"def_sha256"`
+}
+
+// CacheBenchReport is the top-level BENCH_5.json document.
+type CacheBenchReport struct {
+	Schema        string             `json:"schema"`
+	Seed          int64              `json:"seed"`
+	EcoMovedSinks int                `json:"eco_moved_sinks"`
+	Results       []CacheBenchResult `json:"results"`
+}
+
+// cacheBenchStage is the cluster-build stage name in cache stats (the
+// driver's per-cluster unit of incremental work).
+const cacheBenchStage = "cluster_build"
+
+// cacheBenchRun synthesizes d once and reports wall clock, DEF digest, and
+// the store's stats delta attributable to this run (zero when store is nil).
+func cacheBenchRun(d *design.Design, opts cts.Options, store *cache.Cache) (int64, string, cache.Stats, error) {
+	var prev cache.Stats
+	if store != nil {
+		opts.Cache = store
+		prev = store.Stats()
+	}
+	start := time.Now()
+	res, err := cts.Run(d, opts)
+	ns := time.Since(start).Nanoseconds()
+	if err != nil {
+		return 0, "", cache.Stats{}, err
+	}
+	def := cts.ExportDEF(d, res).WriteDEF()
+	sha := fmt.Sprintf("%x", sha256.Sum256([]byte(def)))
+	var delta cache.Stats
+	if store != nil {
+		delta = store.Stats().Sub(prev)
+	}
+	return ns, sha, delta, nil
+}
+
+func cacheBenchRow(design, mode string, ns int64, sha string, delta cache.Stats) CacheBenchResult {
+	cs := delta.Stages[cacheBenchStage]
+	return CacheBenchResult{
+		Design:         design,
+		Mode:           mode,
+		NsPerRun:       ns,
+		ClusterHits:    cs.Hits,
+		ClusterMisses:  cs.Misses,
+		ClusterHitRate: cs.HitRate(),
+		DefSHA256:      sha,
+	}
+}
+
+// moveSinkFraction nudges the first n clock sinks of d by a sub-site step
+// (50x25 nm) — the 1%-of-sinks ECO perturbation of an incremental
+// legalization pass — and returns how many it moved. The nudge is kept
+// below the placement-site pitch deliberately: the partitioner's balanced
+// assignment is a global optimization, so moves large enough to shift
+// k-means centroids legitimately re-partition the level and dirty most
+// clusters (the cache correctly degrades to a cold run). Sub-site moves
+// keep membership stable, which is the regime where incremental replay
+// has something to save.
+func moveSinkFraction(d *design.Design, n int) int {
+	moved := 0
+	for i := range d.Insts {
+		if moved >= n {
+			break
+		}
+		if d.Insts[i].IsSink {
+			d.Insts[i].Loc.X += 0.05
+			d.Insts[i].Loc.Y += 0.025
+			moved++
+		}
+	}
+	return moved
+}
+
+// RunCacheBench measures the content-addressed stage cache on a Table-4-class
+// design in two tiers and returns the BENCH_5.json report:
+//
+//   - cold/warm: the paper flow (SA refinement on) runs twice against one
+//     store; the warm run replays every stage, so its speedup is the
+//     cache's full-replay win.
+//   - eco: with SA off (annealing cascades make membership chaotic under
+//     perturbation — a partitioner property, not a cache one), the flow
+//     primes the store, 1% of sinks move, and the re-run rebuilds only the
+//     dirtied clusters. eco_ref is the uncached run of the moved design the
+//     eco row must match byte-for-byte; its cost is the eco speedup base.
+//
+// An error means byte-identity was violated — a result to investigate, not
+// report.
+func RunCacheBench(seed int64, workers int) (CacheBenchReport, error) {
+	rep := CacheBenchReport{Schema: "sllt-cache-bench/v1", Seed: seed}
+
+	// Tier 1: cold vs warm full replay under the paper flow.
+	spec := designgen.Spec{Name: "cachegen", Insts: 2400, FFs: 480, Util: 0.6}
+	opts := cts.DefaultOptions()
+	opts.Workers = workers
+	store, err := cache.New(cache.Config{})
+	if err != nil {
+		return rep, err
+	}
+	coldNs, coldSHA, coldDelta, err := cacheBenchRun(designgen.Generate(spec, seed), opts, store)
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = append(rep.Results, cacheBenchRow(spec.Name, "cold", coldNs, coldSHA, coldDelta))
+	warmNs, warmSHA, warmDelta, err := cacheBenchRun(designgen.Generate(spec, seed), opts, store)
+	if err != nil {
+		return rep, err
+	}
+	if warmSHA != coldSHA {
+		return rep, fmt.Errorf("warm DEF digest %s differs from cold %s", warmSHA, coldSHA)
+	}
+	warm := cacheBenchRow(spec.Name, "warm", warmNs, warmSHA, warmDelta)
+	warm.Speedup = speedup(coldNs, warmNs)
+	rep.Results = append(rep.Results, warm)
+
+	// Tier 2: incremental re-run after moving 1% of the sinks.
+	ecoSpec := designgen.Spec{Name: "ecogen", Insts: 2400, FFs: 480, Util: 0.6}
+	ecoOpts := cts.DefaultOptions()
+	ecoOpts.Workers = workers
+	ecoOpts.UseSA = false
+	ecoStore, err := cache.New(cache.Config{})
+	if err != nil {
+		return rep, err
+	}
+	baseNs, baseSHA, baseDelta, err := cacheBenchRun(designgen.Generate(ecoSpec, seed), ecoOpts, ecoStore)
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = append(rep.Results, cacheBenchRow(ecoSpec.Name, "eco_cold", baseNs, baseSHA, baseDelta))
+
+	nMove := ecoSpec.FFs / 100
+	if nMove < 1 {
+		nMove = 1
+	}
+	moved := func() *design.Design {
+		d := designgen.Generate(ecoSpec, seed)
+		moveSinkFraction(d, nMove)
+		return d
+	}
+	rep.EcoMovedSinks = nMove
+
+	refNs, refSHA, _, err := cacheBenchRun(moved(), ecoOpts, nil)
+	if err != nil {
+		return rep, err
+	}
+	ecoNs, ecoSHA, ecoDelta, err := cacheBenchRun(moved(), ecoOpts, ecoStore)
+	if err != nil {
+		return rep, err
+	}
+	if ecoSHA != refSHA {
+		return rep, fmt.Errorf("eco DEF digest %s differs from uncached reference %s", ecoSHA, refSHA)
+	}
+	eco := cacheBenchRow(ecoSpec.Name, "eco", ecoNs, ecoSHA, ecoDelta)
+	eco.Speedup = speedup(refNs, ecoNs)
+	rep.Results = append(rep.Results, eco)
+	rep.Results = append(rep.Results, cacheBenchRow(ecoSpec.Name, "eco_ref", refNs, refSHA, cache.Stats{}))
+	return rep, nil
+}
+
+// FormatCacheBenchReport renders the report as an aligned text table for the
+// benchtab console summary.
+func FormatCacheBenchReport(r CacheBenchReport) string {
+	out := fmt.Sprintf("Stage-cache benchmarks (seed %d, eco moves %d sinks)\n", r.Seed, r.EcoMovedSinks)
+	out += fmt.Sprintf("%-10s %-9s %14s %9s %9s %9s %8s\n",
+		"design", "mode", "ns_per_run", "clu.hit", "clu.miss", "hit_rate", "speedup")
+	for _, res := range r.Results {
+		sp := "-"
+		if res.Speedup > 0 {
+			sp = fmt.Sprintf("%.2fx", res.Speedup)
+		}
+		out += fmt.Sprintf("%-10s %-9s %14d %9d %9d %9.2f %8s\n",
+			res.Design, res.Mode, res.NsPerRun, res.ClusterHits, res.ClusterMisses, res.ClusterHitRate, sp)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Enc builds a canonical value encoding: fixed-width big-endian integers,
+// bit-pattern floats, length-prefixed strings. It is the writer half of the
+// stage-value codecs in internal/cts; Dec is the reader. The encoding is
+// deterministic by construction — identical values always serialize to
+// identical bytes — which is what makes stored stage outputs comparable and
+// content-addressable.
+type Enc struct {
+	buf []byte
+}
+
+// NewEnc returns an encoder with the given initial capacity.
+func NewEnc(capacity int) *Enc { return &Enc{buf: make([]byte, 0, capacity)} }
+
+// Bytes returns the accumulated encoding.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// U64 appends a fixed-width unsigned integer.
+func (e *Enc) U64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// I64 appends a signed integer.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int.
+func (e *Enc) Int(v int) { e.I64(int64(v)) }
+
+// F64 appends a float by IEEE-754 bit pattern (exact round-trip).
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Dec reads an Enc-produced encoding. The first malformed read latches an
+// error; subsequent reads return zero values, so decode loops stay linear
+// and check Err once at the end.
+type Dec struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewDec returns a decoder over data.
+func NewDec(data []byte) *Dec { return &Dec{data: data} }
+
+// err2 latches a truncation error naming the field kind being read.
+func (d *Dec) err2(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("cache: decode: truncated %s at offset %d", what, d.off)
+	}
+}
+
+// Err returns the first decode error, or nil.
+func (d *Dec) Err() error { return d.err }
+
+// Done reports whether the whole input was consumed without error.
+func (d *Dec) Done() bool { return d.err == nil && d.off == len(d.data) }
+
+// U64 reads a fixed-width unsigned integer.
+func (d *Dec) U64() uint64 {
+	if d.err != nil || d.off+8 > len(d.data) {
+		d.err2("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return v
+}
+
+// I64 reads a signed integer.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Int reads an int, rejecting values outside the platform int range.
+func (d *Dec) Int() int {
+	v := d.I64()
+	n := int(v)
+	if int64(n) != v && d.err == nil {
+		d.err = fmt.Errorf("cache: decode: int overflow at offset %d", d.off)
+		return 0
+	}
+	return n
+}
+
+// F64 reads a float.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Str reads a length-prefixed string. Lengths beyond the remaining input are
+// rejected before allocation.
+func (d *Dec) Str() string {
+	n := d.U64()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.data)-d.off) {
+		d.err2("string")
+		return ""
+	}
+	s := string(d.data[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}

@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Entry format of one on-disk cache file, designed so a reader can reject
+// truncation, garbage and bit rot without trusting anything in the file:
+//
+//	offset  size  field
+//	0       8     magic "SLLTCAv1"
+//	8       8     payload length, big-endian uint64
+//	16      n     payload (the stage value bytes)
+//	16+n    32    SHA-256 of the payload
+//
+// DecodeEntry verifies all three; any failure surfaces as an error the
+// Cache treats as a miss (recompute and rewrite). The filename is the hex
+// content address of the KEY, not the payload — the trailing digest is what
+// ties the payload to itself.
+const (
+	entryMagic     = "SLLTCAv1"
+	entryHeaderLen = len(entryMagic) + 8
+	entryMinLen    = entryHeaderLen + sha256.Size
+)
+
+// MaxEntryLen bounds a decodable payload (1 GiB): a declared length beyond
+// it is rejected before any allocation, so a corrupt header cannot ask the
+// decoder for petabytes.
+const MaxEntryLen = 1 << 30
+
+// EncodeEntry frames a payload in the on-disk entry format.
+func EncodeEntry(payload []byte) []byte {
+	out := make([]byte, 0, entryMinLen+len(payload))
+	out = append(out, entryMagic...)
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(payload)))
+	out = append(out, n[:]...)
+	out = append(out, payload...)
+	sum := sha256.Sum256(payload)
+	return append(out, sum[:]...)
+}
+
+// DecodeEntry validates an on-disk entry and returns its payload. The
+// returned slice aliases data.
+func DecodeEntry(data []byte) ([]byte, error) {
+	if len(data) < entryMinLen {
+		return nil, fmt.Errorf("cache: entry truncated: %d bytes, want at least %d", len(data), entryMinLen)
+	}
+	if string(data[:len(entryMagic)]) != entryMagic {
+		return nil, fmt.Errorf("cache: bad entry magic")
+	}
+	n := binary.BigEndian.Uint64(data[len(entryMagic):entryHeaderLen])
+	if n > MaxEntryLen {
+		return nil, fmt.Errorf("cache: declared payload length %d exceeds limit", n)
+	}
+	if uint64(len(data)) != uint64(entryMinLen)+n {
+		return nil, fmt.Errorf("cache: entry length %d does not match declared payload %d", len(data), n)
+	}
+	payload := data[entryHeaderLen : entryHeaderLen+int(n)]
+	var sum [sha256.Size]byte
+	copy(sum[:], data[entryHeaderLen+int(n):])
+	if sha256.Sum256(payload) != sum {
+		return nil, fmt.Errorf("cache: payload checksum mismatch")
+	}
+	return payload, nil
+}
+
+// DiskStore is the on-disk tier: one file per key under root, sharded by the
+// first key byte (root/ab/abcdef….sllt) to keep directories small. Writes
+// are atomic (temp file + rename), so a concurrent reader sees either the
+// complete entry or nothing.
+type DiskStore struct {
+	root string
+}
+
+// NewDiskStore returns a store rooted at dir, creating it if needed.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &DiskStore{root: dir}, nil
+}
+
+func (d *DiskStore) path(key Key) string {
+	hex := key.String()
+	return filepath.Join(d.root, hex[:2], hex+".sllt")
+}
+
+// Get reads and validates the entry for key. Unreadable, truncated or
+// corrupt entries are deleted and reported as a miss, so one damaged file
+// degrades to a single recompute instead of a persistent failure.
+func (d *DiskStore) Get(key Key) ([]byte, bool) {
+	p := d.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	payload, err := DecodeEntry(data)
+	if err != nil {
+		os.Remove(p)
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put writes the entry for key atomically. An existing entry is left in
+// place untouched — entries are immutable, so the bytes are already right.
+func (d *DiskStore) Put(key Key, value []byte) error {
+	p := d.path(key)
+	if _, err := os.Stat(p); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), filepath.Base(p)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(EncodeEntry(value))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEntry asserts the on-disk entry decoder returns errors — never
+// panics or over-allocates — on arbitrary input, and that acceptance is
+// exact: anything DecodeEntry accepts re-encodes to the identical bytes
+// (EncodeEntry is the only writer, so a valid entry has exactly one form).
+func FuzzDecodeEntry(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte(entryMagic))
+	f.Add(EncodeEntry(nil))
+	f.Add(EncodeEntry([]byte("stage value")))
+	long := EncodeEntry([]byte("declared longer than real"))
+	long[len(entryMagic)+7] += 8
+	f.Add(long)
+	flip := EncodeEntry([]byte("checksum mismatch"))
+	flip[entryHeaderLen] ^= 1
+	f.Add(flip)
+	huge := EncodeEntry(nil)
+	huge[len(entryMagic)] = 0xff // ~2^56 declared payload
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeEntry(payload), data) {
+			t.Fatalf("accepted entry is not canonical: %d-byte input, %d-byte payload", len(data), len(payload))
+		}
+	})
+}

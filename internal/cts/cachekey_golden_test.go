@@ -1,0 +1,138 @@
+package cts
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sllt/internal/cache"
+	"sllt/internal/geom"
+)
+
+// goldenKeys derives every key kind from fixed inputs. The fixture pins the
+// whole derivation chain — salt, tag framing, field order, fingerprints —
+// so any change to key derivation fails here and forces a deliberate
+// cacheSalt bump (stale entries must become unreachable, not wrong).
+func goldenKeys() map[string]string {
+	opts := DefaultOptions()
+	opts.SAIters = 100
+	base := runBase(opts)
+
+	s0 := sinkID(base, "ff_a", 10, 10, 1.5, 0)
+	s1 := sinkID(base, "ff_b", 30, 10, 1.5, 1)
+	nodes := []clockNode{
+		{loc: geom.Pt(10, 10), cap: 1.5, delay: 0},
+		{loc: geom.Pt(30, 10), cap: 1.5, delay: 2.25},
+	}
+	ids := []cache.Key{s0, s1}
+	ck := clusterKey(base, 40, nodes, ids)
+	tk := topNetKey(base, 20, 20, 40, nodes, ids)
+	return map[string]string{
+		"run_base":      base.String(),
+		"sink_id":       s0.String(),
+		"partition_key": partitionKey(base, 0, nodes).String(),
+		"cluster_key":   ck.String(),
+		"top_net_key":   tk.String(),
+		"timing_key":    timingKey(base, tk).String(),
+	}
+}
+
+// TestCacheKeyGolden compares every derived key against the committed
+// fixture (testdata/cachekeys_golden.json; regenerate with -update only
+// alongside a cacheSalt bump).
+func TestCacheKeyGolden(t *testing.T) {
+	got := goldenKeys()
+	path := filepath.Join("testdata", "cachekeys_golden.json")
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %s, fixture has %s — key derivation changed; bump cacheSalt and regenerate with -update",
+				name, got[name], w)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("fixture missing key kind %s (regenerate with -update)", name)
+		}
+	}
+}
+
+// TestCacheKeySensitivity checks that every keyed input actually reaches its
+// key: perturbing any single knob, constraint, library coefficient or node
+// field must change the derived key, while Workers and Obs must not.
+func TestCacheKeySensitivity(t *testing.T) {
+	base := DefaultOptions()
+	base.SAIters = 100
+	k0 := runBase(base)
+
+	perturb := map[string]func(*Options){
+		"skew bound":    func(o *Options) { o.Cons.SkewBound++ },
+		"max fanout":    func(o *Options) { o.Cons.MaxFanout++ },
+		"max cap":       func(o *Options) { o.Cons.MaxCap++ },
+		"max wl":        func(o *Options) { o.Cons.MaxWL++ },
+		"est mode":      func(o *Options) { o.Est = EstExact },
+		"use sa":        func(o *Options) { o.UseSA = !o.UseSA },
+		"sa iters":      func(o *Options) { o.SAIters++ },
+		"seed":          func(o *Options) { o.Seed++ },
+		"source slew":   func(o *Options) { o.SourceSlew++ },
+		"buffer margin": func(o *Options) { o.BufferMargin += 0.01 },
+		"force cell":    func(o *Options) { o.ForceCell = "CLKBUFX4" },
+		"restarts":      func(o *Options) { o.KMeansRestarts++ },
+		"build id":      func(o *Options) { o.BuildID = "other" },
+		"tech":          func(o *Options) { o.Tech.CPerUm += 0.001 },
+	}
+	for name, f := range perturb {
+		o := base
+		f(&o)
+		if runBase(o) == k0 {
+			t.Errorf("perturbing %s did not change the run base key", name)
+		}
+	}
+	neutral := map[string]func(*Options){
+		"workers": func(o *Options) { o.Workers = 8 },
+	}
+	for name, f := range neutral {
+		o := base
+		f(&o)
+		if runBase(o) != k0 {
+			t.Errorf("perturbing %s changed the run base key; it is byte-identity-neutral and must not be keyed", name)
+		}
+	}
+
+	// Node-level sensitivity: identity, geometry, cap, delay each reach the
+	// cluster key; a member's id changing (upstream dirt) re-keys the cluster.
+	s := sinkID(k0, "s", 1, 2, 3, 0)
+	nodes := []clockNode{{loc: geom.Pt(1, 2), cap: 3, delay: 4}}
+	ck := clusterKey(k0, 10, nodes, []cache.Key{s})
+	for name, alt := range map[string]func() cache.Key{
+		"member loc":   func() cache.Key { n := nodes[0]; n.loc.X++; return clusterKey(k0, 10, []clockNode{n}, []cache.Key{s}) },
+		"member cap":   func() cache.Key { n := nodes[0]; n.cap++; return clusterKey(k0, 10, []clockNode{n}, []cache.Key{s}) },
+		"member delay": func() cache.Key { n := nodes[0]; n.delay++; return clusterKey(k0, 10, []clockNode{n}, []cache.Key{s}) },
+		"member id": func() cache.Key {
+			s2 := sinkID(k0, "s2", 1, 2, 3, 0)
+			return clusterKey(k0, 10, nodes, []cache.Key{s2})
+		},
+		"level bound": func() cache.Key { return clusterKey(k0, 11, nodes, []cache.Key{s}) },
+	} {
+		if alt() == ck {
+			t.Errorf("perturbing %s did not change the cluster key", name)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"sllt/internal/buffering"
+	"sllt/internal/cache"
 	"sllt/internal/core"
 	"sllt/internal/design"
 	"sllt/internal/dme"
@@ -127,6 +128,16 @@ type Options struct {
 	// synthesized tree is byte-identical either way — the recorder observes,
 	// it never feeds back into any algorithm decision.
 	Obs *obs.Recorder
+	// Cache, when non-nil, replays content-addressed stage results instead of
+	// recomputing them (see cachedriver.go). Requires a non-empty BuildID;
+	// results are byte-identical with the cache on or off, cold or warm —
+	// the property TestCacheByteIdentity enforces.
+	Cache *cache.Cache
+	// BuildID names the Build function for cache keying: closures cannot be
+	// content-hashed, so the caller vouches for the builder's identity with a
+	// stable string (e.g. "cbs/greedydist/0.10"). Caching is disabled while
+	// BuildID is empty — an unnamed builder is never silently keyed.
+	BuildID string
 }
 
 // DefaultOptions returns the paper's configuration: CBS topology engine,
@@ -137,6 +148,7 @@ func DefaultOptions() Options {
 		Tech:           tech.Default28nm(),
 		Lib:            liberty.Default(),
 		Build:          CBSBuilder(dme.GreedyDist, 0.1),
+		BuildID:        "cbs/greedydist/0.10",
 		Est:            EstLowerBound,
 		UseSA:          true,
 		SAIters:        2000,
@@ -185,6 +197,15 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 	}
 
 	opts.Obs.SetMeta(d.Name, "sllt-cts", opts.Seed, opts.Workers)
+	// The cache driver sits outside the stages: sc keys each stage's inputs,
+	// replays stored results and records fresh ones. nil when caching is off —
+	// every consultation below is nil-safe, and Workers/Obs never reach a key,
+	// so a cache warmed under one configuration serves all the others.
+	sc := newStageCache(opts, flat.Sinks)
+	var statsPrev cache.Stats
+	if sc.active() {
+		statsPrev = opts.Cache.Stats()
+	}
 	res := &Result{}
 	ins := buffering.NewInserter(opts.Lib, opts.Tech, opts.Cons.MaxCap)
 	ins.Margin = opts.BufferMargin
@@ -196,7 +217,7 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 	// share of the global budget and the shares sum to the bound.
 	levelBound := levelShare(opts.Cons.SkewBound, estLevels(len(nodes), opts.Cons.MaxFanout))
 	for len(nodes) > opts.Cons.MaxFanout {
-		next, k, err := buildLevel(nodes, opts, ins, levelBound, res.Levels)
+		next, k, err := buildLevel(nodes, opts, ins, levelBound, res.Levels, sc)
 		if err != nil {
 			return nil, fmt.Errorf("cts level %d: %w", res.Levels, err)
 		}
@@ -208,7 +229,27 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 		res.Levels++
 	}
 
-	top, topQ, err := buildTopNet(d.ClockRoot, nodes, opts, ins, levelBound)
+	var top *tree.Tree
+	var topQ *obs.NetQoR
+	var topKey cache.Key
+	var err error
+	if sc.active() {
+		topKey = topNetKey(sc.base, d.ClockRoot.X, d.ClockRoot.Y, levelBound, nodes, sc.ids)
+		if v, ok := sc.getTopNet(topKey); ok {
+			opts.Obs.Begin("top_net").End()
+			top = &tree.Tree{Root: v.root}
+			q := v.qor
+			topQ = &q
+		} else {
+			// wantQ: a miss must store the net's QoR so warm replays report it.
+			top, topQ, err = buildTopNet(d.ClockRoot, nodes, opts, ins, levelBound, true)
+			if err == nil {
+				sc.putTopNet(topKey, topNetValue{root: top.Root, qor: *topQ})
+			}
+		}
+	} else {
+		top, topQ, err = buildTopNet(d.ClockRoot, nodes, opts, ins, levelBound, opts.Obs.Enabled())
+	}
 	if err != nil {
 		return nil, fmt.Errorf("cts top net: %w", err)
 	}
@@ -227,12 +268,27 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 	}
 
 	asp := opts.Obs.Begin("timing")
-	rep, err := timing.Analyze(top, opts.Lib, opts.Tech, opts.SourceSlew)
+	var rep *timing.Report
+	if sc.active() {
+		tkey := timingKey(sc.base, topKey)
+		var ok bool
+		if rep, ok = sc.getTiming(tkey); !ok {
+			rep, err = timing.Analyze(top, opts.Lib, opts.Tech, opts.SourceSlew)
+			if err == nil {
+				sc.putTiming(tkey, rep)
+			}
+		}
+	} else {
+		rep, err = timing.Analyze(top, opts.Lib, opts.Tech, opts.SourceSlew)
+	}
 	asp.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Report = rep
+	if sc.active() && opts.Obs.Enabled() {
+		opts.Obs.SetCache(cacheReport(opts.Cache.Stats().Sub(statsPrev)))
+	}
 	if opts.Obs.Enabled() {
 		opts.Obs.SetTotals(obs.Totals{
 			WL:          rep.WL,
@@ -326,17 +382,41 @@ func partitionLevel(nodes []clockNode, opts Options, level int, lv *obs.Span) ([
 }
 
 // buildLevel partitions the nodes, builds one buffered net per cluster and
-// returns the next level's nodes.
+// returns the next level's nodes. When sc is active, the partition and each
+// cluster build consult the content-addressed store first; SA/k-means kernel
+// stats are zero for replayed stages (nothing ran), while QoR and latency
+// observations replay from the stored values.
 //
 // unit: levelBound ps ->
-func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, level int) ([]clockNode, int, error) {
+func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, level int, sc *stageCache) ([]clockNode, int, error) {
 	lv := opts.Obs.Begin("level")
 	defer lv.End()
 	kprev := opts.Obs.Kernel().Snapshot()
 
-	assign, k, method, saStats, err := partitionLevel(nodes, opts, level, lv)
-	if err != nil {
-		return nil, 0, err
+	var (
+		assign  []int
+		k       int
+		method  string
+		saStats *partition.SAStats
+		err     error
+	)
+	if sc.active() {
+		pkey := partitionKey(sc.base, level, nodes)
+		if v, ok := sc.getPartition(pkey, len(nodes)); ok {
+			lv.Begin("partition").End()
+			assign, k, method = v.assign, v.k, v.method
+		} else {
+			assign, k, method, saStats, err = partitionLevel(nodes, opts, level, lv)
+			if err != nil {
+				return nil, 0, err
+			}
+			sc.putPartition(pkey, partitionValue{k: k, method: method, assign: assign})
+		}
+	} else {
+		assign, k, method, saStats, err = partitionLevel(nodes, opts, level, lv)
+		if err != nil {
+			return nil, 0, err
+		}
 	}
 
 	// Bucket members per cluster with exact capacities (one counting pass),
@@ -371,6 +451,30 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 		clusters = append(clusters, cluster)
 	}
 
+	// Cluster keys are derived serially before the fan-out (the hasher is
+	// not concurrency-safe, and key order must not depend on scheduling):
+	// each key folds in the members' identities — sink ids at level 0, the
+	// producing cluster keys above — so dirtiness propagates up the hierarchy
+	// without re-hashing subtree contents.
+	var ckeys, nextIDs []cache.Key
+	if sc.active() {
+		ckeys = make([]cache.Key, len(clusters))
+		nextIDs = make([]cache.Key, len(clusters))
+		ci := 0
+		for _, mem := range members {
+			if len(mem) == 0 {
+				continue
+			}
+			mids := make([]cache.Key, len(mem))
+			for i, m := range mem {
+				mids[i] = sc.ids[m]
+			}
+			ckeys[ci] = clusterKey(sc.base, levelBound, clusters[ci], mids)
+			nextIDs[ci] = derivedID(ckeys[ci])
+			ci++
+		}
+	}
+
 	// The clusters are independent nets: each build touches only its own
 	// members' subtrees, the Inserter is read-only (see buffering.Inserter),
 	// and nothing in the build consumes shared randomness — so the loop fans
@@ -386,10 +490,26 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 	next := make([]clockNode, len(clusters))
 	err = parallel.ForEachSpan(opts.Workers, len(clusters), csp, "cluster", func(ci int) error {
 		cluster := clusters[ci]
+		if sc.active() {
+			if v, ok := sc.getCluster(ckeys[ci]); ok {
+				if qors != nil {
+					qors[ci] = v.qor
+				}
+				latDist.Observe(v.delay)
+				next[ci] = clockNode{loc: v.loc, cap: v.cap, delay: v.delay, sub: v.driver}
+				return nil
+			}
+		}
 		src := centroidOf(cluster)
 		var q *obs.NetQoR
 		if qors != nil {
 			q = &qors[ci]
+		}
+		// A miss must measure QoR even with observability off, so the stored
+		// entry replays the same per-level numbers an obs-on warm run reports.
+		var localQ obs.NetQoR
+		if sc.active() && q == nil {
+			q = &localQ
 		}
 		sub, err := buildNet(src, cluster, opts, ins, levelBound, false, q)
 		if err != nil {
@@ -411,11 +531,19 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 			delay: est,
 			sub:   driver,
 		}
+		if sc.active() {
+			sc.putCluster(ckeys[ci], clusterValue{
+				driver: driver, loc: driver.Loc, cap: driver.PinCap, delay: est, qor: *q,
+			})
+		}
 		return nil
 	})
 	csp.End()
 	if err != nil {
 		return nil, 0, err
+	}
+	if sc.active() {
+		sc.ids = nextIDs
 	}
 	if opts.Obs.Enabled() {
 		opts.Obs.AddLevel(levelQoR(level, nodes, clusters, next, qors, method, saStats, opts, kprev))
@@ -540,17 +668,18 @@ func bestClustering(pts []geom.Point, k int, opts Options, level int, sp *obs.Sp
 
 // buildTopNet is the flow's final construction stage: one buffered net from
 // the clock source to the surviving cluster drivers. Returns the finished
-// tree and, when observability is on, the net's own QoR (wire and buffers
-// before grafting pulls the lower levels in).
+// tree and, when wantQ asks for it (observability on, or the cache driver
+// storing the stage's output), the net's own QoR (wire and buffers before
+// grafting pulls the lower levels in).
 //
 // stage: top_net
 //
 // unit: levelBound ps ->
-func buildTopNet(root geom.Point, nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64) (*tree.Tree, *obs.NetQoR, error) {
+func buildTopNet(root geom.Point, nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, wantQ bool) (*tree.Tree, *obs.NetQoR, error) {
 	tsp := opts.Obs.Begin("top_net")
 	defer tsp.End()
 	var topQ *obs.NetQoR
-	if opts.Obs.Enabled() {
+	if wantQ {
 		topQ = &obs.NetQoR{}
 	}
 	top, err := buildNet(root, nodes, opts, ins, levelBound, true, topQ)

@@ -68,7 +68,7 @@ func TestObsInvariance(t *testing.T) {
 }
 
 // TestRunReportSchema validates a real flow's run report against the
-// sllt.obs.report/v1 schema contract and cross-checks the report against
+// sllt.obs.report/v1.1 schema contract and cross-checks the report against
 // the synthesis result it describes — one level record per tree level,
 // totals matching the timing report, and all four stage spans present.
 // The canonical byte-level fixture lives in internal/obs

@@ -41,12 +41,12 @@
 // # Report schema
 //
 // Snapshot serializes the recorder as canonical JSON. The schema is
-// versioned by the Schema field ("sllt.obs.report/v1"); any
+// versioned by the Schema field ("sllt.obs.report/v1.1"); any
 // backwards-incompatible change to the layout below must bump the version
 // and extend ValidateReport:
 //
 //	{
-//	  "schema":  "sllt.obs.report/v1",
+//	  "schema":  "sllt.obs.report/v1.1",
 //	  "design":  "<design name>",
 //	  "engine":  "<flow name>",
 //	  "seed":    1,
@@ -69,6 +69,15 @@
 //	    "wl_um": 0.0, "skew_ps": 0.0, "max_latency_ps": 0.0,
 //	    "buffers": 0, "buf_area_um2": 0.0, "clock_cap_ff": 0.0,
 //	    "max_stage_cap_ff": 0.0, "max_slew_ps": 0.0
+//	  },
+//	  "cache": {             // OPTIONAL (v1.1): stage-cache traffic
+//	    "stages": [          // sorted by stage name
+//	      {"stage": "cluster_build", "hits": 0, "misses": 0, "puts": 0,
+//	       "hit_rate": 0.0, "bytes_read": 0, "bytes_written": 0}, ...
+//	    ],
+//	    "hits": 0, "misses": 0, "puts": 0, "hit_rate": 0.0,
+//	    "bytes_read": 0, "bytes_written": 0,
+//	    "evictions": 0, "disk_errors": 0
 //	  },
 //	  "metrics": [           // sorted by name
 //	    {"name": "...", "kind": "counter", "unit": "1", "value": 0},

@@ -7,7 +7,9 @@ import (
 
 // SchemaVersion identifies the run-report JSON layout. Bump on any
 // backwards-incompatible change and extend ValidateReport accordingly.
-const SchemaVersion = "sllt.obs.report/v1"
+// v1.1 adds the optional "cache" section (stage-cache hit/miss/byte
+// counters); everything in v1 is unchanged.
+const SchemaVersion = "sllt.obs.report/v1.1"
 
 // Recorder collects one run's spans, metrics and QoR records. The nil
 // *Recorder is the disabled state: every method no-ops (returning nil
@@ -32,6 +34,7 @@ type Recorder struct {
 	dists    map[string]*Dist
 	levels   []LevelQoR
 	totals   Totals
+	cache    *CacheJSON
 }
 
 // New returns an enabled Recorder using the given clock (nil selects the
@@ -170,6 +173,7 @@ func (r *Recorder) Snapshot() *Report {
 		Workers: r.workers,
 		Levels:  append([]LevelQoR(nil), r.levels...),
 		Totals:  r.totals,
+		Cache:   r.cache,
 	}
 	for _, c := range r.counters {
 		rep.Metrics = append(rep.Metrics, c.snapshot())

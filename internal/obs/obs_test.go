@@ -220,13 +220,13 @@ func TestValidateReportRejects(t *testing.T) {
 	cases := map[string]string{
 		"not json":      "[",
 		"wrong schema":  `{"schema":"bogus/v0"}`,
-		"missing field": `{"schema":"sllt.obs.report/v1","design":"d"}`,
-		"bad metric kind": `{"schema":"sllt.obs.report/v1","design":"d","engine":"e","seed":1,
+		"missing field": `{"schema":"sllt.obs.report/v1.1","design":"d"}`,
+		"bad metric kind": `{"schema":"sllt.obs.report/v1.1","design":"d","engine":"e","seed":1,
 			"workers":1,"levels":[],"totals":{"wl_um":0,"skew_ps":0,"max_latency_ps":0,"buffers":0,
 			"buf_area_um2":0,"clock_cap_ff":0,"max_stage_cap_ff":0,"max_slew_ps":0},
 			"metrics":[{"name":"a","kind":"histogram","unit":"1"}],
 			"span":{"name":"run","task":-1,"start_ns":0,"dur_ns":1}}`,
-		"unsorted metrics": `{"schema":"sllt.obs.report/v1","design":"d","engine":"e","seed":1,
+		"unsorted metrics": `{"schema":"sllt.obs.report/v1.1","design":"d","engine":"e","seed":1,
 			"workers":1,"levels":[],"totals":{"wl_um":0,"skew_ps":0,"max_latency_ps":0,"buffers":0,
 			"buf_area_um2":0,"clock_cap_ff":0,"max_stage_cap_ff":0,"max_slew_ps":0},
 			"metrics":[{"name":"b","kind":"counter","unit":"1"},{"name":"a","kind":"counter","unit":"1"}],

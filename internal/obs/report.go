@@ -18,6 +18,7 @@ type Report struct {
 	Workers int          `json:"workers"`
 	Levels  []LevelQoR   `json:"levels"`
 	Totals  Totals       `json:"totals"`
+	Cache   *CacheJSON   `json:"cache,omitempty"`
 	Metrics []MetricJSON `json:"metrics"`
 	Span    *SpanJSON    `json:"span"`
 }
@@ -139,6 +140,11 @@ func ValidateReport(data []byte) error {
 			return fmt.Errorf("totals: %w", err)
 		}
 	}
+	if cacheRaw, ok := raw["cache"]; ok {
+		if err := validateCache(cacheRaw); err != nil {
+			return err
+		}
+	}
 	var metrics []map[string]json.RawMessage
 	if err := need(raw, "metrics", &metrics); err != nil {
 		return err
@@ -168,6 +174,44 @@ func ValidateReport(data []byte) error {
 		return err
 	}
 	return validateSpan(span, 0)
+}
+
+// validateCache checks the optional v1.1 "cache" section: total counters plus
+// per-stage records sorted by stage name.
+func validateCache(data json.RawMessage) error {
+	var c map[string]json.RawMessage
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	var n float64
+	for _, key := range []string{"hits", "misses", "puts", "hit_rate",
+		"bytes_read", "bytes_written", "evictions", "disk_errors"} {
+		if err := need(c, key, &n); err != nil {
+			return fmt.Errorf("cache: %w", err)
+		}
+	}
+	var stages []map[string]json.RawMessage
+	if err := need(c, "stages", &stages); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	prev := ""
+	for i, st := range stages {
+		var name string
+		if err := need(st, "stage", &name); err != nil {
+			return fmt.Errorf("cache.stages[%d]: %w", i, err)
+		}
+		for _, key := range []string{"hits", "misses", "puts", "hit_rate",
+			"bytes_read", "bytes_written"} {
+			if err := need(st, key, &n); err != nil {
+				return fmt.Errorf("cache.stages[%d] %s: %w", i, name, err)
+			}
+		}
+		if name < prev {
+			return fmt.Errorf("cache.stages[%d] %s: not sorted by stage (after %s)", i, name, prev)
+		}
+		prev = name
+	}
+	return nil
 }
 
 func validateSpan(data json.RawMessage, depth int) error {

@@ -61,6 +61,14 @@ func goldenRecorder() *Recorder {
 		Buffers: 10, BufArea: 20.5, ClockCap: 130.0,
 		MaxStageCap: 45.0, MaxSlew: 60.0,
 	})
+	rec.SetCache(&CacheJSON{
+		Stages: []CacheStageJSON{
+			{Stage: "cluster_build", Hits: 3, Misses: 1, Puts: 1, HitRate: 0.75, BytesRead: 4096, BytesWritten: 1024},
+			{Stage: "partition", Hits: 1, Misses: 0, Puts: 0, HitRate: 1.0},
+		},
+		Hits: 4, Misses: 1, Puts: 1, HitRate: 0.8,
+		BytesRead: 4096, BytesWritten: 1024, Evictions: 2, DiskErrors: 0,
+	})
 	return rec
 }
 

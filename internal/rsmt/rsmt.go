@@ -213,11 +213,19 @@ func Steinerize(t *tree.Tree) {
 // kern.SteinerInserts (nil kern: exactly Steinerize).
 func SteinerizeK(t *tree.Tree, kern *obs.KernelCounters) {
 	tree.LegalizeSinkLeaves(t)
-	if len(t.Nodes()) >= steinerQueueThreshold {
+	if countNodes(t) >= steinerQueueThreshold {
 		steinerizeQueue(t, kern)
 		return
 	}
 	steinerizeScan(t, kern)
+}
+
+// countNodes counts tree nodes without materializing the slice t.Nodes()
+// would allocate — the dispatch above only needs the count.
+func countNodes(t *tree.Tree) int {
+	n := 0
+	t.Walk(func(*tree.Node) bool { n++; return true })
+	return n
 }
 
 // SteinerizeReference is the retained exhaustive kernel: a full-tree rescan

@@ -1,0 +1,62 @@
+package rsmt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sllt/internal/geom"
+	"sllt/internal/tree"
+)
+
+// queueSizedTree builds a steinerized tree big enough to take the candidate
+// queue path (>= steinerQueueThreshold nodes).
+func queueSizedTree(tb testing.TB, sinks int) *tree.Tree {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(77))
+	net := &tree.Net{Name: "alloc", Source: geom.Pt(250, 250)}
+	for i := 0; i < sinks; i++ {
+		net.Sinks = append(net.Sinks, tree.PinSink{
+			Name: fmt.Sprintf("s%d", i),
+			Loc:  geom.Pt(rng.Float64()*500, rng.Float64()*500),
+			Cap:  1,
+		})
+	}
+	t := Build(net)
+	if countNodes(t) < steinerQueueThreshold {
+		tb.Fatalf("tree has %d nodes, need >= %d for the queue path", countNodes(t), steinerQueueThreshold)
+	}
+	return t
+}
+
+// steinerizeQueueAllocCap bounds the steady-state allocations of one
+// re-steinerize on an already-optimal tree. The candidate heap backing is
+// pooled, so only the walk/stage closures remain; the cap has headroom for
+// those but fails if any per-candidate or per-node allocation returns.
+const steinerizeQueueAllocCap = 8
+
+// TestSteinerizeQueueAllocs pins the queue kernel's steady-state allocation
+// count: re-steinerizing a tree that admits no further moves must not
+// allocate the candidate heap anew (backing recycled via moveHeapPool).
+func TestSteinerizeQueueAllocs(t *testing.T) {
+	tr := queueSizedTree(t, 150)
+	Steinerize(tr) // settle: further calls stage candidates but apply none
+	avg := testing.AllocsPerRun(50, func() {
+		Steinerize(tr)
+	})
+	if avg > steinerizeQueueAllocCap {
+		t.Errorf("re-steinerize allocates %.1f objects/run, cap %d — candidate queue reuse regressed",
+			avg, steinerizeQueueAllocCap)
+	}
+}
+
+// BenchmarkSteinerizeQueueAllocs reports the same quantity for tracking.
+func BenchmarkSteinerizeQueueAllocs(b *testing.B) {
+	tr := queueSizedTree(b, 150)
+	Steinerize(tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Steinerize(tr)
+	}
+}

@@ -2,6 +2,7 @@ package rsmt
 
 import (
 	"container/heap"
+	"sync"
 
 	"sllt/internal/geom"
 	"sllt/internal/obs"
@@ -57,8 +58,25 @@ func (h *moveHeap) Pop() interface{} {
 // while a pair is valid, so the valid heap top is exactly the full rescan's
 // best move, and on tie-free inputs the two kernels produce the identical
 // tree (the equivalence property test compares canonical forms).
+// moveHeapPool recycles candidate-queue backing arrays across calls: the
+// flow steinerizes one net per cluster, and the per-call heap allocation
+// dominated this kernel's steady-state allocation profile
+// (BenchmarkSteinerizeQueueAllocs guards the re-use).
+var moveHeapPool = sync.Pool{New: func() any { return new(moveHeap) }}
+
 func steinerizeQueue(t *tree.Tree, kern *obs.KernelCounters) {
-	h := moveHeap(make([]steinerMove, 0, 4*len(t.Nodes())))
+	hp := moveHeapPool.Get().(*moveHeap)
+	h := (*hp)[:0]
+	defer func() {
+		// Zero the backing before pooling: a recycled array must not pin
+		// nodes of trees the caller has released.
+		h = h[:cap(h)]
+		for i := range h {
+			h[i] = steinerMove{}
+		}
+		*hp = h[:0]
+		moveHeapPool.Put(hp)
+	}()
 	seq := 0
 	stage := func(n, a, b *tree.Node) (steinerMove, bool) {
 		s := median3(n.Loc, a.Loc, b.Loc)
