@@ -17,6 +17,7 @@
 //	benchtab -benchjson                            # kernel trajectory -> BENCH_4.json
 //	benchtab -benchjson -benchtiers 1000 -benchout BENCH_4.json  # CI smoke tier
 //	benchtab -cachejson                            # stage-cache warm/cold + ECO -> BENCH_5.json
+//	benchtab -allocjson                            # hot-kernel allocs/op + bytes/op -> BENCH_6.json
 //
 // -workers parallelizes the independent units of each table (per-cluster
 // net builds inside a flow, per-cell net streams in Tables 2/3, the seven
@@ -74,11 +75,19 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "on-disk tier directory for -cache (persists warmth across invocations; implies -cache)")
 	cachejson := flag.Bool("cachejson", false, "run the stage-cache warm/cold + ECO benchmarks and write JSON instead of tables")
 	cacheout := flag.String("cacheout", "BENCH_5.json", "output file for -cachejson")
+	allocjson := flag.Bool("allocjson", false, "run the hot-kernel allocation benchmarks (allocs/op + bytes/op) and write JSON instead of tables")
+	allocout := flag.String("allocout", "BENCH_6.json", "output file for -allocjson")
 	flag.Parse()
 
 	if *benchjson {
 		if err := runBenchJSON(*benchtiers, *seed, *benchrefmax, *benchout); err != nil {
 			fatal(fmt.Errorf("benchjson: %w", err))
+		}
+		return
+	}
+	if *allocjson {
+		if err := runAllocJSON(*benchtiers, *seed, *allocout); err != nil {
+			fatal(fmt.Errorf("allocjson: %w", err))
 		}
 		return
 	}
@@ -297,10 +306,31 @@ func runCacheJSON(seed int64, workers int, out string) error {
 	return nil
 }
 
-// runBenchJSON measures the kernel trajectory and writes the report both to
-// the console (as a table) and to out (as indented JSON for CI artifacts and
-// the committed BENCH_4.json).
-func runBenchJSON(tiersCSV string, seed int64, refMaxN int, out string) error {
+// runAllocJSON measures the allocation-discipline trajectory of the
+// hotpath-annotated kernels (allocs/op and bytes/op per kernel and tier) and
+// writes the report both to the console and to out as the committed
+// BENCH_6.json.
+func runAllocJSON(tiersCSV string, seed int64, out string) error {
+	tiers, err := parseTiers(tiersCSV)
+	if err != nil {
+		return err
+	}
+	rep := bench.RunAllocBench(tiers, seed)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatAllocReport(rep))
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// parseTiers splits the -benchtiers CSV into validated sink counts.
+func parseTiers(tiersCSV string) ([]int, error) {
 	var tiers []int
 	for _, f := range strings.Split(tiersCSV, ",") {
 		f = strings.TrimSpace(f)
@@ -309,12 +339,23 @@ func runBenchJSON(tiersCSV string, seed int64, refMaxN int, out string) error {
 		}
 		n, err := strconv.Atoi(f)
 		if err != nil || n < 2 {
-			return fmt.Errorf("bad tier %q", f)
+			return nil, fmt.Errorf("bad tier %q", f)
 		}
 		tiers = append(tiers, n)
 	}
 	if len(tiers) == 0 {
-		return fmt.Errorf("no tiers")
+		return nil, fmt.Errorf("no tiers")
+	}
+	return tiers, nil
+}
+
+// runBenchJSON measures the kernel trajectory and writes the report both to
+// the console (as a table) and to out (as indented JSON for CI artifacts and
+// the committed BENCH_4.json).
+func runBenchJSON(tiersCSV string, seed int64, refMaxN int, out string) error {
+	tiers, err := parseTiers(tiersCSV)
+	if err != nil {
+		return err
 	}
 	rep := bench.RunKernels(tiers, seed, refMaxN)
 	data, err := json.MarshalIndent(rep, "", "  ")

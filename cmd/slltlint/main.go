@@ -41,6 +41,7 @@ import (
 	"os"
 
 	"sllt/internal/analysis"
+	"sllt/internal/analysis/hotpath"
 	"sllt/internal/analysis/registry"
 )
 
@@ -85,6 +86,8 @@ func run(args []string) int {
 		"baseline file of accepted findings; only findings not in it gate (empty string disables)")
 	writeBaseline := fs.Bool("write-baseline", false,
 		"regenerate the baseline file from the current findings and exit")
+	escapeCheck := fs.Bool("escapecheck", false,
+		"cross-check hotpath findings against `go build -gcflags=-m` escape diagnostics: compiler-verified escapes inside // hot: alloc-free bodies become findings, compiler-cleared heuristics are dropped, the rest are confidence-tiered")
 	fs.Usage = usage(fs)
 	fs.Parse(args)
 
@@ -130,6 +133,7 @@ func run(args []string) int {
 		return 2
 	}
 
+	hotpath.SetEscapeCheck(*escapeCheck)
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

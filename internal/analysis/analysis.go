@@ -189,9 +189,15 @@ func (p *Pass) ImportedPkgOf(sel *ast.SelectorExpr) string {
 	return pn.Imported().Path()
 }
 
-// Preorder walks every node of every file in the pass in depth-first order.
+// Preorder walks every node of every file in the pass in depth-first order,
+// skipping generated files (SkipFile): machine-written code is exempt from
+// the style-level rules, and routing the check through here keeps every
+// Preorder-based analyzer consistent about it.
 func (p *Pass) Preorder(fn func(ast.Node)) {
 	for _, f := range p.Files {
+		if SkipFile(p.Fset, f) {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			if n != nil {
 				fn(n)

@@ -1,0 +1,28 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"sllt/internal/analysis"
+	"sllt/internal/analysis/hotpath"
+)
+
+func TestHotTier(t *testing.T) {
+	analysis.RunTest(t, hotpath.Analyzer, "testdata/src/hotbasic")
+}
+
+func TestAllocFreeTier(t *testing.T) {
+	analysis.RunTest(t, hotpath.Analyzer, "testdata/src/allocfree")
+}
+
+// TestEscapeReconciliation runs the analyzer with the compiler cross-check
+// on: the escapefp fixtures encode the false-positive cases (pooled slices,
+// ref-free-element appends, write-once package tables) that must survey
+// clean once the compiler's "does not escape" verdicts are reconciled, plus
+// one genuine escape the compiler confirms. The fixture is a real module
+// package, so `go build -gcflags=-m` resolves it like any other.
+func TestEscapeReconciliation(t *testing.T) {
+	hotpath.SetEscapeCheck(true)
+	defer hotpath.SetEscapeCheck(false)
+	analysis.RunTest(t, hotpath.Analyzer, "testdata/src/escapefp")
+}

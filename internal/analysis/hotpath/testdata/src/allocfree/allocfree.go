@@ -1,0 +1,140 @@
+// Package allocfree exercises the strict tier: every allocation source in
+// the body is a finding regardless of loop context, and every callee must be
+// alloc-free-annotated or proven clean by the fixpoint.
+package allocfree
+
+import (
+	"errors"
+	"math"
+	"strings"
+
+	"sllt/internal/geom"
+)
+
+// Sum is genuinely allocation-free.
+//
+// hot: alloc-free
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return math.Abs(s)
+}
+
+// Bad collects one of each direct allocation source.
+//
+// hot: alloc-free
+func Bad(n int) int {
+	out := []int{1, 2, 3} // want "constructs []int{…} on the heap"
+	m := map[int]bool{}   // want "constructs map[int]bool{…} on the heap"
+	p := new(int)         // want "allocates new(int)"
+	var dst []int
+	dst = append(dst, n)    // want "grows dst by append without capacity provenance"
+	err := errors.New("no") // want "calls errors.New, which constructs its result on the heap"
+	b := []byte("payload")  // want "converts []byte(\"payload\"), which copies the payload"
+	_, _, _ = m, p, err
+	return out[0] + dst[0] + len(b)
+}
+
+type thing struct{ v int }
+
+// helper is unannotated and allocates; strict callers inherit the finding.
+func helper() *thing { return &thing{} }
+
+// UsesHelper calls a dirty helper.
+//
+// hot: alloc-free
+func UsesHelper() int {
+	t := helper() // want "calls helper, which constructs &thing{…} on the heap"
+	return t.v
+}
+
+func lvl1() int { return lvl2()[0] }
+
+func lvl2() []int { return make([]int, 4) }
+
+// Chained reaches the allocation two calls down; the finding carries the
+// chain.
+//
+// hot: alloc-free
+func Chained() int {
+	return lvl1() // want "calls lvl1, which allocates make([]int, 4) (via lvl1 → lvl2)"
+}
+
+// External calls outside the lint batch (geom is imported but not a lint
+// target in this fixture run).
+//
+// hot: alloc-free
+func External(a, b geom.Point) float64 {
+	return a.Dist(b) // want "outside this lint batch"
+}
+
+// Closed captures a local; the closure may allocate if the literal escapes.
+//
+// hot: alloc-free
+func Closed(xs []int) int {
+	t := 0
+	f := func() { t++ } // want "builds a closure capturing t"
+	for range xs {
+		f()
+	}
+	return t
+}
+
+// Spawn allocates a goroutine stack and a capturing closure.
+//
+// hot: alloc-free
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }() // want "spawns a goroutine" "builds a closure capturing ch"
+}
+
+// DeferLoop heap-allocates a defer record per iteration.
+//
+// hot: alloc-free
+func DeferLoop(fns []func()) {
+	for _, f := range fns {
+		defer f() // want "defers inside a loop"
+	}
+}
+
+type reader interface{ read() int }
+
+// Iface cannot see through the interface.
+//
+// hot: alloc-free
+func Iface(r reader) int {
+	return r.read() // want "calls interface method"
+}
+
+var hook = func(int) int { return 0 }
+
+// Dyn calls through mutable package state.
+//
+// hot: alloc-free
+func Dyn(x int) int {
+	return hook(x) // want "calls through package-level func value"
+}
+
+// Rep calls stdlib off the allowlist.
+//
+// hot: alloc-free
+func Rep(s string) string {
+	return strings.Repeat(s, 2) // want "calls strings.Repeat, which is not on the alloc-free stdlib allowlist"
+}
+
+// inner is a trusted annotated boundary for Outer.
+//
+// hot: alloc-free
+func inner(x int) int { return x + 1 }
+
+// Outer calls only trusted or allowlisted code: no findings.
+//
+// hot: alloc-free
+func Outer(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += inner(x)
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+// Package escapefp exercises the escape cross-check's false-positive
+// handling: pooled slice backing, ref-free-element appends into provided
+// capacity, and write-once package-level tables must survey clean, while a
+// genuinely escaping literal is confirmed by the compiler and a non-escaping
+// one is cleared.
+package escapefp
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]int, 0, 64); return &b }}
+
+// UsePool runs entirely on pooled backing: Get/Put are exempt, the reslice
+// carries capacity provenance, and nothing escapes.
+//
+// hot: alloc-free
+func UsePool(xs []int) int {
+	bp := pool.Get().(*[]int)
+	b := (*bp)[:0]
+	for _, x := range xs {
+		b = append(b, x)
+	}
+	s := 0
+	for _, v := range b {
+		s += v
+	}
+	*bp = b[:0]
+	pool.Put(bp)
+	return s
+}
+
+// Fill appends ref-free elements into caller-provided backing.
+//
+// hot: alloc-free
+func Fill(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// weights is written once at package init; reading it allocates nothing.
+var weights = [8]float64{1, 2, 3, 4, 5, 6, 7, 8}
+
+// Weight indexes the write-once table.
+//
+// hot: alloc-free
+func Weight(i int) float64 {
+	return weights[i&7]
+}
+
+type node struct{ v int }
+
+// Leak returns its literal: the static heuristic flags it and the compiler
+// confirms the escape.
+//
+// hot: alloc-free
+func Leak() *node {
+	n := &node{v: 1} // want "constructs &node{…} on the heap [compiler-confirmed"
+	return n
+}
+
+// NoLeak builds the same literal but never lets it out: the static
+// heuristic alone would flag it, the compiler's "does not escape" clears it.
+//
+// hot: alloc-free
+func NoLeak() int {
+	n := &node{v: 2}
+	return n.v
+}

@@ -1,0 +1,75 @@
+// Package hotbasic exercises the hot tier: allocations are legal in setup
+// but flagged in loop context, callback literals count as loops, appends
+// with capacity provenance pass, and annotated callees are trusted.
+package hotbasic
+
+// alloc is an unannotated allocating helper: calling it from a hot loop is a
+// finding attributed through the summary fixpoint.
+func alloc() []int { return make([]int, 8) }
+
+// sq is allocation-free; the fixpoint proves it clean without annotation.
+func sq(x int) int { return x * x }
+
+// sink takes an interface: concrete arguments box at the call site.
+func sink(v any) {}
+
+// Kernel allocates its scratch in setup (allowed) and must not allocate per
+// element.
+//
+// hot:
+func Kernel(xs []int) int {
+	buf := make([]int, 0, len(xs)) // setup allocation: allowed in the hot tier
+	total := 0
+	for _, x := range xs {
+		buf = append(buf, sq(x))
+		tmp := make([]int, 4) // want "allocates make([]int, 4) in loop context"
+		_ = tmp
+		total += alloc()[0] // want "calls alloc, which allocates make([]int, 8) in loop context"
+	}
+	return total + len(buf)
+}
+
+// Each hands a literal to visit: the callback body is loop context even
+// though Each itself has no loop statement.
+//
+// hot:
+func Each(xs []int, f func(int)) {
+	visit(xs, func(x int) {
+		f(x)
+		_ = make([]int, 1) // want "allocates make([]int, 1) in loop context"
+	})
+}
+
+func visit(xs []int, f func(int)) {
+	for _, x := range xs {
+		f(x)
+	}
+}
+
+// Box passes a concrete int where an interface is expected, once per
+// element; pointers fit the interface word and do not box.
+//
+// hot:
+func Box(xs []int) {
+	for i, x := range xs {
+		sink(x) // want "boxes x"
+		sink(&xs[i])
+	}
+}
+
+// trusted is a hot-annotated callee: its own loops are verified at its
+// declaration, so hot callers may call it per element without findings.
+//
+// hot:
+func trusted(h *[]int, v int) {
+	*h = append(*h, v)
+}
+
+// Caller leans on the trusted boundary.
+//
+// hot:
+func Caller(xs []int, out *[]int) {
+	for _, x := range xs {
+		trusted(out, x)
+	}
+}

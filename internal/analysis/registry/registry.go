@@ -8,6 +8,7 @@ import (
 	"sllt/internal/analysis"
 	"sllt/internal/analysis/ctxguard"
 	"sllt/internal/analysis/floatcmp"
+	"sllt/internal/analysis/hotpath"
 	"sllt/internal/analysis/maporder"
 	"sllt/internal/analysis/seededrand"
 	"sllt/internal/analysis/sharedstate"
@@ -22,6 +23,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxguard.Analyzer,
 		floatcmp.Analyzer,
+		hotpath.Analyzer,
 		maporder.Analyzer,
 		seededrand.Analyzer,
 		sharedstate.Analyzer,

@@ -20,8 +20,8 @@ var identRe = regexp.MustCompile(`^[a-z][a-z0-9]*$`)
 // scanning.
 func TestRosterMetadata(t *testing.T) {
 	all := registry.All()
-	if len(all) < 8 {
-		t.Fatalf("roster has %d analyzers, want at least 8", len(all))
+	if len(all) < 9 {
+		t.Fatalf("roster has %d analyzers, want at least 9", len(all))
 	}
 	seen := map[string]bool{}
 	names := make([]string, 0, len(all))

@@ -56,6 +56,9 @@ func run(pass *analysis.Pass) error {
 	}
 	c := &checker{pass: pass, reg: reg}
 	for _, f := range pass.Files {
+		if analysis.SkipFile(pass.Fset, f) {
+			continue
+		}
 		for _, decl := range f.Decls {
 			switch d := decl.(type) {
 			case *ast.FuncDecl:

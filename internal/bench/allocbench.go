@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sllt/internal/cache"
+	"sllt/internal/geom"
+	"sllt/internal/geom/index"
+	"sllt/internal/partition"
+	"sllt/internal/rsmt"
+	"sllt/internal/tree"
+)
+
+// AllocResult is one (kernel, sink-tier) row of the allocation-discipline
+// trajectory: how many heap allocations — and how many bytes — one pass of
+// the kernel costs. The kernels measured here are exactly the packages the
+// hotpath analyzer annotates; the counts quantify what the // hot:
+// annotations and their AllocsPerRun guards hold in place at workload scale.
+type AllocResult struct {
+	Kernel      string `json:"kernel"`
+	N           int    `json:"n"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// AllocReport is the top-level BENCH_6.json document.
+type AllocReport struct {
+	Schema  string        `json:"schema"`
+	Seed    int64         `json:"seed"`
+	Tiers   []int         `json:"tiers"`
+	Results []AllocResult `json:"results"`
+}
+
+// RunAllocBench measures allocation counts and volume for the annotated hot
+// kernels at each sink tier. One op is one full kernel pass over the tier's
+// point set (n grid queries, one MST build, one Steinerization, one
+// assignment sweep, one exact silhouette, n−1 octagon distances, one
+// n-field cache-key hash), so rows are comparable with the BENCH_4.json
+// timing trajectory. All inputs derive from seed.
+func RunAllocBench(tiers []int, seed int64) AllocReport {
+	rep := AllocReport{
+		Schema: "sllt-alloc-bench/v1",
+		Seed:   seed,
+		Tiers:  append([]int(nil), tiers...),
+	}
+	add := func(kernel string, n, reps int, op func(i int)) {
+		res := AllocResult{Kernel: kernel, N: n}
+		res.NsPerOp, res.AllocsPerOp, res.BytesPerOp = measureAlloc(reps, op)
+		rep.Results = append(rep.Results, res)
+	}
+	for _, n := range tiers {
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		pts := randomPoints(n, rng)
+		reps := kernelReps(n)
+
+		// geom/index: n nearest-neighbor queries against a static grid.
+		g := index.New(pts)
+		add("grid-nearest", n, reps, func(int) {
+			for _, p := range pts {
+				g.Nearest(p, nil)
+			}
+		})
+
+		// rsmt: grid Prim and the candidate-queue Steinerization (private
+		// tree clones; cloning stays outside the measured region).
+		add("mst", n, reps, func(int) { rsmt.MST(pts) })
+		base := rsmt.MSTTree(kernelNet(pts))
+		fastTrees := make([]*tree.Tree, reps)
+		for i := range fastTrees {
+			fastTrees[i] = base.Clone()
+		}
+		add("steinerize", n, reps, func(i int) { rsmt.Steinerize(fastTrees[i]) })
+
+		// partition: one assignment sweep and one exact silhouette with the
+		// flow's fanout-derived cluster count.
+		k := n / 32
+		if k < 2 {
+			k = 2
+		}
+		centers, assign := partition.KMeansP(pts, k, 2, seed, 1)
+		scratch := append([]int(nil), assign...)
+		add("kmeans-assign", n, reps, func(int) {
+			partition.AssignPoints(pts, centers, scratch, 1)
+		})
+		add("silhouette-exact", n, reps, func(int) {
+			partition.SilhouetteExact(pts, assign, k, 1)
+		})
+
+		// geom: n−1 octagon-pair distances, the DME merge-cost inner call.
+		octs := make([]geom.Octagon, n)
+		for i, p := range pts {
+			octs[i] = geom.OctFromPoint(p).Expand(float64(i%5) + 1)
+		}
+		add("octagon-dist", n, reps, func(int) {
+			for i := 1; i < n; i++ {
+				_ = octs[i-1].Dist(octs[i])
+			}
+		})
+
+		// cache: one n-field key hash over a reused hasher.
+		h := cache.NewHasher("alloc-bench")
+		add("hasher", n, reps, func(int) {
+			for _, p := range pts {
+				h.F64(p.X).F64(p.Y)
+			}
+			h.Sum()
+			h.Reset("alloc-bench")
+		})
+	}
+	return rep
+}
+
+// FormatAllocReport renders the report as an aligned text table for the
+// benchtab console summary.
+func FormatAllocReport(r AllocReport) string {
+	out := fmt.Sprintf("Kernel allocation benchmarks (seed %d)\n", r.Seed)
+	out += fmt.Sprintf("%-18s %9s %14s %12s %14s\n",
+		"kernel", "n", "ns/op", "allocs/op", "bytes/op")
+	for _, res := range r.Results {
+		out += fmt.Sprintf("%-18s %9d %14d %12d %14d\n",
+			res.Kernel, res.N, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+	return out
+}

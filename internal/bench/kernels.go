@@ -82,6 +82,14 @@ func kernelReps(n int) int {
 // counter delta — the same source testing.AllocsPerRun reads — so the
 // number is exact, not sampled.
 func measure(reps int, op func(i int)) (nsPerOp, allocsPerOp int64) {
+	nsPerOp, allocsPerOp, _ = measureAlloc(reps, op)
+	return nsPerOp, allocsPerOp
+}
+
+// measureAlloc is measure plus heap bytes/op (TotalAlloc delta), for the
+// allocation-discipline trajectory where the size of what slips through
+// matters as much as the count.
+func measureAlloc(reps int, op func(i int)) (nsPerOp, allocsPerOp, bytesPerOp int64) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -92,7 +100,9 @@ func measure(reps int, op func(i int)) (nsPerOp, allocsPerOp int64) {
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	r := int64(reps)
-	return elapsed.Nanoseconds() / r, int64(after.Mallocs-before.Mallocs) / r
+	return elapsed.Nanoseconds() / r,
+		int64(after.Mallocs-before.Mallocs) / r,
+		int64(after.TotalAlloc-before.TotalAlloc) / r
 }
 
 // RunKernels measures the accelerated spatial kernels against their retained

@@ -1,0 +1,54 @@
+package dme
+
+import (
+	"testing"
+
+	"sllt/internal/geom"
+	"sllt/internal/tech"
+)
+
+// Guard fixtures: an Elmore-model option set (so delayAdd/wireCap exercise
+// the tech formulas, not the Linear early-outs) and two disjoint merge
+// nodes.
+var (
+	guardOpts = Options{Model: Elmore, Tech: tech.Default28nm()}
+	guardA    = &mnode{ms: geom.OctFromPoint(geom.Pt(0, 0)).Expand(2), lo: 0, hi: 1, cap: 3}
+	guardB    = &mnode{ms: geom.OctFromPoint(geom.Pt(30, 10)).Expand(1), lo: 4, hi: 5, cap: 2}
+
+	guardSinkF  float64
+	guardSinkF2 float64
+)
+
+// allocFreeGuards pins every // hot: alloc-free kernel in this package at
+// zero steady-state allocations, keyed by the kernel's display name. The
+// guardcov test in internal/analysis/hotpath checks the map stays in sync
+// with the annotations.
+var allocFreeGuards = map[string]func(){
+	"Options.delayAdd": func() {
+		guardSinkF = guardOpts.delayAdd(120, 4)
+	},
+	"Options.invDelayAdd": func() {
+		guardSinkF = guardOpts.invDelayAdd(50, 4)
+	},
+	"Options.wireCap": func() {
+		guardSinkF = guardOpts.wireCap(120)
+	},
+	"clampF": func() {
+		guardSinkF = clampF(5, 0, 3)
+	},
+	"linearSplit": func() {
+		guardSinkF, guardSinkF2 = linearSplit(guardA, guardB, guardA.ms.Dist(guardB.ms), 2)
+	},
+	"linearMergeCost": func() {
+		guardSinkF = linearMergeCost(guardA, guardB, 2)
+	},
+}
+
+func TestAllocFreeGuards(t *testing.T) {
+	for name, fn := range allocFreeGuards {
+		fn() // warm up any first-call growth before measuring
+		if n := testing.AllocsPerRun(100, fn); n != 0 {
+			t.Errorf("%s allocates %.1f times per op, want 0", name, n)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package geom
+
+import "testing"
+
+// Guard fixtures: two disjoint octagons and sinks that keep the compiler
+// from discarding the guarded calls.
+var (
+	guardOctA = OctFromPoint(Pt(0, 0)).Expand(3)
+	guardOctB = OctFromPoint(Pt(40, 25)).Expand(2)
+
+	guardSinkP Point
+	guardSinkF float64
+	guardSinkN int
+)
+
+// allocFreeGuards pins every // hot: alloc-free kernel in this package at
+// zero steady-state allocations, keyed by the kernel's display name. The
+// guardcov test in internal/analysis/hotpath checks the map stays in sync
+// with the annotations.
+var allocFreeGuards = map[string]func(){
+	"Octagon.verticesInto": func() {
+		var buf [8]Point
+		guardSinkN = guardOctA.verticesInto(&buf)
+	},
+	"clipUVInto": func() {
+		var in, out [8][2]float64
+		in[0] = [2]float64{1, 0}
+		in[1] = [2]float64{1, 1}
+		in[2] = [2]float64{0, 1}
+		in[3] = [2]float64{0, 0}
+		guardSinkN = clipUVInto(&in, 4, 1, 1, 1.2, &out)
+	},
+	"Octagon.Nearest": func() {
+		guardSinkP = guardOctA.Nearest(Pt(30, -20))
+	},
+	"Octagon.Dist": func() {
+		guardSinkF = guardOctA.Dist(guardOctB)
+	},
+	"nearestOnSegmentL1": func() {
+		guardSinkP = nearestOnSegmentL1(Pt(0, 0), Pt(10, 4), Pt(3, 9))
+	},
+}
+
+func TestAllocFreeGuards(t *testing.T) {
+	for name, fn := range allocFreeGuards {
+		fn() // warm up any first-call growth before measuring
+		if n := testing.AllocsPerRun(100, fn); n != 0 {
+			t.Errorf("%s allocates %.1f times per op, want 0", name, n)
+		}
+	}
+}

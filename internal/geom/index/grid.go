@@ -175,6 +175,8 @@ func (g *Grid) Live() int { return g.liveTotal }
 // survivors (amortized O(1) per removal, geometric series), so drain-heavy
 // callers like grid-Prim keep ~1 live point per cell throughout instead of
 // walking ever-wider rings of emptied buckets.
+//
+// hot:
 func (g *Grid) Remove(i int) {
 	if !g.alive[i] {
 		return
@@ -195,6 +197,8 @@ func (g *Grid) Remove(i int) {
 // Returns (-1, 0) when no live point qualifies.
 //
 // unit: -> _, um
+//
+// hot: alloc-free
 func (g *Grid) Nearest(q geom.Point, skip func(int) bool) (int, float64) {
 	return g.nearest(q, -1, skip)
 }
@@ -207,10 +211,16 @@ func (g *Grid) Nearest(q geom.Point, skip func(int) bool) (int, float64) {
 // superset that contains a rectilinear MST.
 //
 // unit: -> _, um
+//
+// hot: alloc-free
 func (g *Grid) NearestInOctant(q geom.Point, oct int, skip func(int) bool) (int, float64) {
 	return g.nearest(q, oct, skip)
 }
 
+// nearest is the expanding-ring walk behind both public queries: prebuilt
+// cell slices only, no per-query state.
+//
+// hot: alloc-free
 func (g *Grid) nearest(q geom.Point, oct int, skip func(int) bool) (int, float64) {
 	if g.liveTotal == 0 {
 		return -1, 0
@@ -287,6 +297,8 @@ func (g *Grid) nearest(q geom.Point, oct int, skip func(int) bool) (int, float64
 }
 
 // scanCell folds cell ci's live points into the (best, bestD) incumbent.
+//
+// hot: alloc-free
 func (g *Grid) scanCell(q geom.Point, ci, oct int, skip func(int) bool, best int, bestD float64) (int, float64) {
 	if g.alive != nil && g.liveInCell[ci] == 0 {
 		return best, bestD

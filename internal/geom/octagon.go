@@ -137,65 +137,100 @@ func (o Octagon) Hull(p Octagon) Octagon {
 // four diagonal half-planes (Sutherland–Hodgman). Degenerate octagons may
 // return fewer vertices; an empty octagon returns none.
 func (o Octagon) Vertices() []Point {
-	if o.Empty() {
+	var buf [8]Point
+	n := o.verticesInto(&buf)
+	if n == 0 {
 		return nil
 	}
-	// Start from the (u,v) rectangle, counter-clockwise.
-	poly := [][2]float64{
-		{o.UHi, o.VLo}, {o.UHi, o.VHi}, {o.ULo, o.VHi}, {o.ULo, o.VLo},
+	out := make([]Point, n)
+	copy(out, buf[:n])
+	return out
+}
+
+// verticesInto writes the octagon's corners (counter-clockwise,
+// deduplicated) into buf and returns the count. A 4-gon clipped by four
+// half-planes gains at most one vertex per clip, so eight slots always
+// suffice and the whole computation stays on the caller's stack — this is
+// the zero-allocation core behind Vertices, Nearest, and Dist, which the
+// DME merge loop calls per candidate pair.
+//
+// hot: alloc-free
+func (o Octagon) verticesInto(buf *[8]Point) int {
+	if o.Empty() {
+		return 0
 	}
+	// Start from the (u,v) rectangle, counter-clockwise.
+	var pa, pb [8][2]float64
+	pa[0] = [2]float64{o.UHi, o.VLo}
+	pa[1] = [2]float64{o.UHi, o.VHi}
+	pa[2] = [2]float64{o.ULo, o.VHi}
+	pa[3] = [2]float64{o.ULo, o.VLo}
+	n := 4
 	// Half-planes a·u + b·v <= c.
-	clips := [][3]float64{
+	clips := [4][3]float64{
 		{1, 1, o.SHi},
 		{-1, -1, -o.SLo},
 		{1, -1, o.WHi},
 		{-1, 1, -o.WLo},
 	}
+	cur, nxt := &pa, &pb
 	for _, hp := range clips {
-		poly = clipUV(poly, hp[0], hp[1], hp[2])
-		if len(poly) == 0 {
-			return nil
+		n = clipUVInto(cur, n, hp[0], hp[1], hp[2], nxt)
+		if n == 0 {
+			return 0
 		}
+		cur, nxt = nxt, cur
 	}
-	out := make([]Point, 0, len(poly))
-	for _, c := range poly {
+	m := 0
+	for _, c := range cur[:n] {
 		p := UV{U: c[0], V: c[1]}.ToXY()
-		if len(out) == 0 || !out[len(out)-1].Eq(p) {
-			out = append(out, p)
+		if m == 0 || !buf[m-1].Eq(p) {
+			buf[m] = p
+			m++
 		}
 	}
-	if len(out) > 1 && out[0].Eq(out[len(out)-1]) {
-		out = out[:len(out)-1]
+	if m > 1 && buf[0].Eq(buf[m-1]) {
+		m--
 	}
-	return out
+	return m
 }
 
-// clipUV clips a convex polygon (in (u,v) coordinates) against a·u+b·v <= c.
-func clipUV(poly [][2]float64, a, b, c float64) [][2]float64 {
-	var out [][2]float64
-	n := len(poly)
+// clipUVInto clips the convex polygon in[:n] (in (u,v) coordinates) against
+// a·u+b·v <= c, writing the result into out and returning its vertex count.
+// Clipping a convex polygon by one half-plane adds at most one vertex, so
+// out never needs more than 8 slots along the verticesInto chain.
+//
+// hot: alloc-free
+func clipUVInto(in *[8][2]float64, n int, a, b, c float64, out *[8][2]float64) int {
+	m := 0
 	for i := 0; i < n; i++ {
-		p, q := poly[i], poly[(i+1)%n]
+		p, q := in[i], in[(i+1)%n]
 		fp := a*p[0] + b*p[1] - c
 		fq := a*q[0] + b*q[1] - c
 		if fp <= Eps {
-			out = append(out, p)
+			out[m] = p
+			m++
 		}
 		if (fp < -Eps && fq > Eps) || (fp > Eps && fq < -Eps) {
 			t := fp / (fp - fq)
-			out = append(out, [2]float64{p[0] + t*(q[0]-p[0]), p[1] + t*(q[1]-p[1])})
+			out[m] = [2]float64{p[0] + t*(q[0]-p[0]), p[1] + t*(q[1]-p[1])}
+			m++
 		}
 	}
-	return out
+	return m
 }
 
 // Nearest returns the point of the region with minimum Manhattan distance
 // to p.
+//
+// hot: alloc-free
 func (o Octagon) Nearest(p Point) Point {
 	if o.Contains(p) {
 		return p
 	}
-	verts := o.Vertices()
+	var buf [8]Point
+	n := o.verticesInto(&buf)
+	verts := buf[:n]
 	best := verts[0]
 	bestD := best.Dist(p)
 	for i := range verts {
@@ -216,12 +251,15 @@ func (o Octagon) DistPoint(p Point) float64 {
 // Dist returns the minimum Manhattan distance between two octagons (0 when
 // they intersect). Computed over vertex-edge pairs, which is exact for
 // convex polygons under any norm.
+//
+// hot: alloc-free
 func (o Octagon) Dist(p Octagon) float64 {
 	if !o.Intersect(p).Empty() {
 		return 0
 	}
 	best := math.Inf(1)
-	vo, vp := o.Vertices(), p.Vertices()
+	var bo, bp [8]Point
+	vo, vp := bo[:o.verticesInto(&bo)], bp[:p.verticesInto(&bp)]
 	for _, v := range vo {
 		for i := range vp {
 			q := nearestOnSegmentL1(vp[i], vp[(i+1)%len(vp)], v)
@@ -253,26 +291,35 @@ func (o Octagon) AnyPoint() Point {
 
 // nearestOnSegmentL1 returns the point on segment ab minimizing Manhattan
 // distance to p. The distance along the segment is piecewise linear in the
-// parameter, so the minimum is at one of a handful of breakpoints.
+// parameter, so the minimum is at one of at most six breakpoints, collected
+// in a fixed stack buffer.
+//
+// hot: alloc-free
 func nearestOnSegmentL1(a, b, p Point) Point {
 	dx, dy := b.X-a.X, b.Y-a.Y
-	cands := []float64{0, 1}
+	var cands [6]float64
+	cands[0], cands[1] = 0, 1
+	n := 2
 	if Sign(dx) != 0 {
-		cands = append(cands, (p.X-a.X)/dx) // |dx(t)| = 0
+		cands[n] = (p.X - a.X) / dx // |dx(t)| = 0
+		n++
 	}
 	if Sign(dy) != 0 {
-		cands = append(cands, (p.Y-a.Y)/dy) // |dy(t)| = 0
+		cands[n] = (p.Y - a.Y) / dy // |dy(t)| = 0
+		n++
 	}
 	// |dx(t)| = |dy(t)| breakpoints.
 	if Sign(dx-dy) != 0 {
-		cands = append(cands, (p.X-a.X-(p.Y-a.Y))/(dx-dy))
+		cands[n] = (p.X - a.X - (p.Y - a.Y)) / (dx - dy)
+		n++
 	}
 	if Sign(dx+dy) != 0 {
-		cands = append(cands, (p.X-a.X+(p.Y-a.Y))/(dx+dy))
+		cands[n] = (p.X - a.X + (p.Y - a.Y)) / (dx + dy)
+		n++
 	}
 	best := a
 	bestD := math.Inf(1)
-	for _, t := range cands {
+	for _, t := range cands[:n] {
 		t = clamp(t, 0, 1)
 		q := Pt(a.X+t*dx, a.Y+t*dy)
 		if d := q.Dist(p); d < bestD {

@@ -149,6 +149,8 @@ func assignPoints(pts []geom.Point, centers []geom.Point, assign []int, workers 
 
 // assignPointsK is assignPoints with optional kernel-counter attribution on
 // the center grid's queries.
+//
+// hot:
 func assignPointsK(pts []geom.Point, centers []geom.Point, assign []int, workers int, kern *obs.KernelCounters) bool {
 	n := len(pts)
 	workers = parallel.Clamp(workers)
@@ -198,6 +200,8 @@ func AssignPointsExhaustive(pts []geom.Point, centers []geom.Point, assign []int
 
 // assignRange is the serial kernel of the assignment pass over pts[lo:hi].
 // With a grid it queries the center index; without it, the ascending scan.
+//
+// hot: alloc-free
 func assignRange(pts []geom.Point, centers []geom.Point, assign []int, lo, hi int, g *index.Grid) bool {
 	changed := false
 	for i := lo; i < hi; i++ {
@@ -265,6 +269,10 @@ func seedCenters(pts []geom.Point, k int, rng *rand.Rand) []geom.Point {
 	return centers
 }
 
+// farthestPoint returns the point farthest from its assigned center, the
+// re-seeding probe for emptied clusters.
+//
+// hot: alloc-free
 func farthestPoint(pts []geom.Point, assign []int, centers []geom.Point) geom.Point {
 	best, bd := 0, -1.0
 	for i, p := range pts {
@@ -307,6 +315,8 @@ func SilhouetteP(pts []geom.Point, assign []int, k, workers int) float64 {
 // SilhouetteExact is the retained exact O(n²) scorer, with the same worker
 // fan-out as SilhouetteP but no sampling at any size. It is the oracle for
 // the estimator's tests and the baseline of the BENCH_*.json speedup column.
+//
+// hot:
 func SilhouetteExact(pts []geom.Point, assign []int, k, workers int) float64 {
 	n := len(pts)
 	if n == 0 || k < 2 {
@@ -314,8 +324,22 @@ func SilhouetteExact(pts []geom.Point, assign []int, k, workers int) float64 {
 	}
 	const unscored = math.MaxFloat64 // sentinel: point contributes nothing
 	scores := make([]float64, n)
-	parallel.ForEach(workers, n, func(i int) error {
-		scores[i] = silhouetteOf(pts, assign, k, i)
+	// Chunked fan-out so the O(k) scoring scratch is allocated once per chunk
+	// instead of once per point (the 2500-point flow call used to pay 2·n
+	// slice allocations here). Each scores[i] is an independent function of
+	// (pts, assign) and the scratch is fully reinitialized per point, so the
+	// result is float-identical to the per-point fan-out for every workers
+	// value.
+	chunks := parallel.Clamp(workers) * 4
+	if chunks > n {
+		chunks = n
+	}
+	parallel.ForEach(workers, chunks, func(c int) error {
+		//lint:ignore hotpath per-chunk scoring scratch: two k-sized slices per chunk, amortized over n/chunks points
+		sum, cnt := make([]float64, k), make([]int, k)
+		for i := c * n / chunks; i < (c+1)*n/chunks; i++ {
+			scores[i] = silhouetteOf(pts, assign, k, i, sum, cnt)
+		}
 		return nil
 	})
 	var total float64
@@ -369,11 +393,15 @@ func stratifiedSample(pts []geom.Point, assign []int, k, target int) ([]geom.Poi
 
 // silhouetteOf computes point i's silhouette coefficient, or the unscored
 // sentinel when it is undefined (singleton cluster, no other cluster, or a
-// degenerate zero denominator).
-func silhouetteOf(pts []geom.Point, assign []int, k, i int) float64 {
+// degenerate zero denominator). sum and cnt are caller-provided k-sized
+// scratch, reinitialized here so reuse across points cannot leak state.
+//
+// hot: alloc-free
+func silhouetteOf(pts []geom.Point, assign []int, k, i int, sum []float64, cnt []int) float64 {
+	for j := 0; j < k; j++ {
+		sum[j], cnt[j] = 0, 0
+	}
 	p := pts[i]
-	sum := make([]float64, k)
-	cnt := make([]int, k)
 	for j, q := range pts {
 		if i == j {
 			continue

@@ -1,7 +1,6 @@
 package rsmt
 
 import (
-	"container/heap"
 	"sync"
 
 	"sllt/internal/geom"
@@ -26,26 +25,97 @@ type steinerMove struct {
 
 // moveHeap is a max-heap on (gain, insertion sequence): the largest saving
 // first, ties to the earliest-discovered pair, so the apply order — and
-// therefore the final tree — is deterministic.
+// therefore the final tree — is deterministic. The heap functions are
+// hand-rolled concrete code, like mstCand's candPush/candPop: the
+// container/heap protocol would take the heap through its interface (the
+// slice header escapes) and box every popped steinerMove through
+// interface{}, both of which show up as per-op allocations in the
+// steady-state guard.
 type moveHeap []steinerMove
 
-func (h moveHeap) Len() int { return len(h) }
-func (h moveHeap) Less(i, j int) bool {
+// moveBefore reports whether a must pop before b: strict (gain desc, seq
+// asc) order. seq values are unique per staging, so the order is total and
+// the pop sequence is independent of the heap's internal layout.
+//
+// hot: alloc-free
+func moveBefore(a, b steinerMove) bool {
 	//slltlint:ignore floatcmp exact comparison keeps the deterministic (gain, seq) apply order
-	if h[i].gain != h[j].gain {
-		return h[i].gain > h[j].gain
+	if a.gain != b.gain {
+		return a.gain > b.gain
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h moveHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *moveHeap) Push(x interface{}) { *h = append(*h, x.(steinerMove)) }
-func (h *moveHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// moveSiftDown restores the heap order below slot i over s[:n].
+//
+// hot: alloc-free
+func moveSiftDown(s moveHeap, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && moveBefore(s[r], s[l]) {
+			m = r
+		}
+		if !moveBefore(s[m], s[i]) {
+			return
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
 }
+
+// moveHeapInit heapifies an unordered backing in O(n).
+//
+// hot: alloc-free
+func moveHeapInit(h moveHeap) {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		moveSiftDown(h, i, n)
+	}
+}
+
+// moveHeapPush appends m and sifts it up. Steady-state callers push into
+// pooled backing with spare capacity, so the append does not grow.
+//
+// hot: alloc-free
+func moveHeapPush(h *moveHeap, m steinerMove) {
+	s := append(*h, m)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !moveBefore(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+// moveHeapPop removes and returns the best move. The vacated tail slot is
+// zeroed immediately so the live backing never pins popped moves' nodes.
+//
+// hot: alloc-free
+func moveHeapPop(h *moveHeap) steinerMove {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = steinerMove{}
+	s = s[:last]
+	moveSiftDown(s, 0, last)
+	*h = s
+	return top
+}
+
+// moveHeapPool recycles candidate-queue backing arrays across calls: the
+// flow steinerizes one net per cluster, and the per-call heap allocation
+// dominated this kernel's steady-state allocation profile
+// (TestSteinerizeQueueAllocs pins the re-use at zero allocations).
+var moveHeapPool = sync.Pool{New: func() any { return new(moveHeap) }}
 
 // steinerizeQueue runs the same greedy loop as steinerizeScan — always apply
 // the highest-gain median insertion — but instead of rescanning the whole
@@ -58,23 +128,23 @@ func (h *moveHeap) Pop() interface{} {
 // while a pair is valid, so the valid heap top is exactly the full rescan's
 // best move, and on tie-free inputs the two kernels produce the identical
 // tree (the equivalence property test compares canonical forms).
-// moveHeapPool recycles candidate-queue backing arrays across calls: the
-// flow steinerizes one net per cluster, and the per-call heap allocation
-// dominated this kernel's steady-state allocation profile
-// (BenchmarkSteinerizeQueueAllocs guards the re-use).
-var moveHeapPool = sync.Pool{New: func() any { return new(moveHeap) }}
-
+//
+// The queue lives on the pooled backing for the whole call — the heap
+// functions take the pool's *moveHeap directly, so no local slice header
+// ever escapes and a settled re-steinerize performs zero allocations.
+//
+// hot:
 func steinerizeQueue(t *tree.Tree, kern *obs.KernelCounters) {
 	hp := moveHeapPool.Get().(*moveHeap)
-	h := (*hp)[:0]
+	*hp = (*hp)[:0]
 	defer func() {
 		// Zero the backing before pooling: a recycled array must not pin
 		// nodes of trees the caller has released.
-		h = h[:cap(h)]
-		for i := range h {
-			h[i] = steinerMove{}
+		s := (*hp)[:cap(*hp)]
+		for i := range s {
+			s[i] = steinerMove{}
 		}
-		*hp = h[:0]
+		*hp = s[:0]
 		moveHeapPool.Put(hp)
 	}()
 	seq := 0
@@ -92,21 +162,22 @@ func steinerizeQueue(t *tree.Tree, kern *obs.KernelCounters) {
 		for i := 0; i < len(v.Children); i++ {
 			for j := i + 1; j < len(v.Children); j++ {
 				if m, ok := stage(v, v.Children[i], v.Children[j]); ok {
-					h = append(h, m)
+					*hp = append(*hp, m)
 				}
 			}
 		}
 		return true
 	})
-	heap.Init(&h)
-	for h.Len() > 0 {
-		m := heap.Pop(&h).(steinerMove)
+	moveHeapInit(*hp)
+	for len(*hp) > 0 {
+		m := moveHeapPop(hp)
 		if m.a.Parent != m.n || m.b.Parent != m.n {
 			continue // a later move reparented an endpoint; entry is dead
 		}
 		s := median3(m.n.Loc, m.a.Loc, m.b.Loc)
 		m.a.Detach()
 		m.b.Detach()
+		//lint:ignore hotpath each applied move creates exactly one Steiner node; structural output, not incidental garbage
 		st := tree.NewNode(tree.Steiner, s)
 		m.n.AddChild(st)
 		st.AddChild(m.a)
@@ -121,11 +192,11 @@ func steinerizeQueue(t *tree.Tree, kern *obs.KernelCounters) {
 				continue
 			}
 			if nm, ok := stage(m.n, c, st); ok {
-				heap.Push(&h, nm)
+				moveHeapPush(hp, nm)
 			}
 		}
 		if nm, ok := stage(st, m.a, m.b); ok {
-			heap.Push(&h, nm)
+			moveHeapPush(hp, nm)
 		}
 	}
 }
