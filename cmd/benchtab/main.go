@@ -77,6 +77,11 @@ func main() {
 	cacheout := flag.String("cacheout", "BENCH_5.json", "output file for -cachejson")
 	allocjson := flag.Bool("allocjson", false, "run the hot-kernel allocation benchmarks (allocs/op + bytes/op) and write JSON instead of tables")
 	allocout := flag.String("allocout", "BENCH_6.json", "output file for -allocjson")
+	iojson := flag.Bool("iojson", false, "run the streaming DEF I/O benchmarks and write JSON instead of tables")
+	iotiers := flag.String("iotiers", "1000,10000,100000", "comma-separated sink tiers for -iojson")
+	ioout := flag.String("ioout", "BENCH_7.json", "output file for -iojson")
+	iorefmax := flag.Int("iorefmax", 100000, "largest tier on which the legacy whole-string parse/render paths run")
+	ioflow := flag.Int("ioflow", 0, "sink count for the end-to-end flow tier of -iojson (0 = skip; the 1M record uses 1000000)")
 	flag.Parse()
 
 	if *benchjson {
@@ -88,6 +93,12 @@ func main() {
 	if *allocjson {
 		if err := runAllocJSON(*benchtiers, *seed, *allocout); err != nil {
 			fatal(fmt.Errorf("allocjson: %w", err))
+		}
+		return
+	}
+	if *iojson {
+		if err := runIOJSON(*iotiers, *seed, *iorefmax, *ioflow, *workers, *ioout); err != nil {
+			fatal(fmt.Errorf("iojson: %w", err))
 		}
 		return
 	}
@@ -200,6 +211,16 @@ func main() {
 	if *table == "cachesmoke" {
 		if err := cacheSmoke(*seed, *workers, *cacheDir); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: cachesmoke: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// iosmoke is the streaming-parser memory oracle (also outside "all"): it
+	// writes a ~100k-sink DEF to a temp file, parses it back through the
+	// fixed-buffer reader, and fails unless the parse is memory-bound the way
+	// the streaming contract promises.
+	if *table == "iosmoke" {
+		if err := ioSmoke(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: iosmoke: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -326,6 +347,80 @@ func runAllocJSON(tiersCSV string, seed int64, out string) error {
 	}
 	fmt.Print(bench.FormatAllocReport(rep))
 	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runIOJSON measures the streaming DEF I/O trajectory (parse and export,
+// streaming vs the retained legacy whole-string paths, plus the optional
+// end-to-end flow tier) and writes the report both to the console and to out
+// as the committed BENCH_7.json.
+func runIOJSON(tiersCSV string, seed int64, refMaxN, flowN, workers int, out string) error {
+	tiers, err := parseTiers(tiersCSV)
+	if err != nil {
+		return err
+	}
+	rep, err := bench.RunIOBench(tiers, seed, refMaxN, flowN, workers)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatIOReport(rep))
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// ioSmoke asserts the streaming parser's memory discipline on a fresh
+// ~100k-sink DEF: compared to the retained legacy path (whole file in a
+// string, every token materialized, result substrings pinning the source),
+// the streaming parse must allocate less in total, retain less while the
+// result is live, and keep its transient working set — everything allocated
+// but not retained — under 2x the file size. The transient is dominated by
+// append-growth churn on the clock net's connection list (Go's large-slice
+// growth allocates several generations of the final array), which scales
+// with the design, never with token count; the legacy path's transient is
+// ~30x the file. The retained ceiling is 3x the file: the parsed structure
+// itself is about 1.7x the text (struct headers beat DEF syntax), and the
+// margin must not mask a copy of the source sneaking back in.
+func ioSmoke(seed int64) error {
+	const n = 100000
+	rep, err := bench.RunIOBench([]int{n}, seed, n, 0, 1)
+	if err != nil {
+		return err
+	}
+	rows := map[string]bench.IOResult{}
+	for _, r := range rep.Results {
+		rows[r.Op] = r
+	}
+	stream, ok := rows["def_parse_stream"]
+	if !ok {
+		return fmt.Errorf("no streaming parse row")
+	}
+	legacy, ok := rows["def_parse_legacy"]
+	if !ok {
+		return fmt.Errorf("no legacy parse row")
+	}
+	fmt.Printf("iosmoke n=%d bytes=%d stream{total=%d retained=%d MB/s=%.1f} legacy{total=%d retained=%d MB/s=%.1f}\n",
+		n, stream.Bytes, stream.TotalAlloc, stream.RetainedHeap, stream.MBPerS,
+		legacy.TotalAlloc, legacy.RetainedHeap, legacy.MBPerS)
+	if stream.TotalAlloc >= legacy.TotalAlloc {
+		return fmt.Errorf("streaming parse allocated %d bytes, legacy only %d", stream.TotalAlloc, legacy.TotalAlloc)
+	}
+	if stream.RetainedHeap >= legacy.RetainedHeap {
+		return fmt.Errorf("streaming parse retained %d bytes, legacy only %d", stream.RetainedHeap, legacy.RetainedHeap)
+	}
+	if transient := stream.TotalAlloc - stream.RetainedHeap; transient > 2*stream.Bytes {
+		return fmt.Errorf("streaming parse transient working set %d exceeds 2x file size %d", transient, stream.Bytes)
+	}
+	if stream.RetainedHeap > 3*stream.Bytes {
+		return fmt.Errorf("streaming parse retained %d bytes, over 3x the %d-byte file", stream.RetainedHeap, stream.Bytes)
+	}
 	return nil
 }
 

@@ -65,13 +65,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	lefSrc, err := os.ReadFile(*lefPath)
+	// Inputs stream through the fixed-buffer readers: neither file is ever
+	// held in memory whole, so ingest cost is the parsed structures alone.
+	lef, err := parseLEFFile(*lefPath)
 	fatal(err)
-	defSrc, err := os.ReadFile(*defPath)
-	fatal(err)
-	lef, err := lefdef.ParseLEF(string(lefSrc))
-	fatal(err)
-	df, err := lefdef.ParseDEF(string(defSrc))
+	df, err := parseDEFFile(*defPath)
 	fatal(err)
 	d, err := design.FromLEFDEF(lef, df, *netName)
 	fatal(err)
@@ -148,6 +146,24 @@ func main() {
 			fmt.Printf("wrote %s (trace)\n", *tracePath)
 		}
 	}
+}
+
+func parseLEFFile(path string) (*lefdef.LEF, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return lefdef.ParseLEFReader(f)
+}
+
+func parseDEFFile(path string) (*lefdef.DEF, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return lefdef.ParseDEFReader(f)
 }
 
 func fatal(err error) {

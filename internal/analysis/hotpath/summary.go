@@ -687,6 +687,12 @@ var allowFuncs = map[string]bool{
 	"bytes.HasSuffix":       true,
 	"bytes.Index":           true,
 	"bytes.IndexByte":       true,
+	// strconv's Append* formatters write into the caller's slice; they
+	// allocate only when the destination lacks capacity, which the
+	// param-rooted append carve-out already holds the caller to.
+	"strconv.AppendInt":   true,
+	"strconv.AppendUint":  true,
+	"strconv.AppendFloat": true,
 	"slices.Sort":           true,
 	"slices.SortFunc":       true,
 	"slices.BinarySearch":   true,

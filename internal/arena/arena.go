@@ -1,0 +1,99 @@
+// Package arena provides a typed slab allocator for per-level flow scratch:
+// objects whose lifetimes end together and whose backing memory should be
+// reused across iterations instead of churning the garbage collector.
+//
+// An Arena hands out zeroed values carved from progressively larger slabs.
+// Reset zeroes the used portions and rewinds the arena, keeping every slab
+// for reuse — after a few warm-up rounds a steady-state loop performs no
+// allocations at all.
+//
+// Ownership rule: everything obtained from an Arena is valid only until the
+// next Reset. Results that outlive the loop (cached clusters, the final
+// tree) must be heap-allocated or copied out — never retained from arena
+// memory. Arenas are not safe for concurrent use.
+package arena
+
+// minSlab is the element count of the first slab; subsequent slabs double up
+// to maxSlab so large designs amortize to a handful of allocations without
+// small users paying for huge blocks.
+const (
+	minSlab = 256
+	maxSlab = 1 << 18
+)
+
+// Arena is a typed slab allocator. The zero value is ready to use.
+type Arena[T any] struct {
+	slabs  [][]T // every slab ever grown; len = used, cap = slab size
+	active int   // slab currently being filled
+}
+
+// AllocN returns a zeroed, contiguous []T of length n with capacity clamped
+// to n (appending to it cannot clobber neighbouring arena values). The slice
+// is valid until Reset.
+func (a *Arena[T]) AllocN(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	for {
+		if a.active < len(a.slabs) {
+			s := a.slabs[a.active]
+			if cap(s)-len(s) >= n {
+				off := len(s)
+				a.slabs[a.active] = s[: off+n : cap(s)]
+				return s[off : off+n : off+n]
+			}
+			// Too full (or a small earlier-epoch slab): move on. The
+			// remainder is dead until Reset; slab sizes double, so the
+			// waste is bounded by half the arena.
+			a.active++
+			continue
+		}
+		size := minSlab
+		if len(a.slabs) > 0 {
+			size = 2 * cap(a.slabs[len(a.slabs)-1])
+			if size > maxSlab {
+				size = maxSlab
+			}
+		}
+		if size < n {
+			size = n
+		}
+		a.slabs = append(a.slabs, make([]T, 0, size))
+	}
+}
+
+// Alloc returns a pointer to one zeroed T, valid until Reset.
+func (a *Arena[T]) Alloc() *T {
+	return &a.AllocN(1)[0]
+}
+
+// Reset rewinds the arena, zeroing everything handed out so the next round
+// starts from zeroed memory again. All previously returned slices and
+// pointers become invalid (their contents are cleared, and they will be
+// handed out again).
+func (a *Arena[T]) Reset() {
+	for i, s := range a.slabs {
+		clear(s)
+		a.slabs[i] = s[:0]
+	}
+	a.active = 0
+}
+
+// Live reports how many elements are currently handed out.
+func (a *Arena[T]) Live() int {
+	n := 0
+	for _, s := range a.slabs {
+		n += len(s)
+	}
+	return n
+}
+
+// Footprint reports the total element capacity the arena retains across
+// Resets.
+func (a *Arena[T]) Footprint() int {
+	n := 0
+	for _, s := range a.slabs {
+		n += cap(s)
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+package arena
+
+import "testing"
+
+func TestAllocNZeroedAndDisjoint(t *testing.T) {
+	var a Arena[int]
+	x := a.AllocN(10)
+	y := a.AllocN(10)
+	if len(x) != 10 || len(y) != 10 {
+		t.Fatalf("lengths = %d, %d", len(x), len(y))
+	}
+	for i := range x {
+		x[i] = i + 1
+		y[i] = -(i + 1)
+	}
+	for i := range x {
+		if x[i] != i+1 || y[i] != -(i+1) {
+			t.Fatalf("overlap at %d: x=%d y=%d", i, x[i], y[i])
+		}
+	}
+	// Full capacity slice: appending must not clobber the neighbour.
+	x = append(x[:10:10], 99)
+	if y[0] != -1 {
+		t.Fatal("append to one allocation clobbered another")
+	}
+}
+
+func TestResetZeroesAndReuses(t *testing.T) {
+	var a Arena[int]
+	s := a.AllocN(100)
+	for i := range s {
+		s[i] = 7
+	}
+	foot := a.Footprint()
+	a.Reset()
+	if a.Live() != 0 {
+		t.Fatalf("Live after Reset = %d", a.Live())
+	}
+	s2 := a.AllocN(100)
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("reused memory not zeroed at %d: %d", i, v)
+		}
+	}
+	if &s[0] != &s2[0] {
+		t.Fatal("Reset did not reuse the slab")
+	}
+	if a.Footprint() != foot {
+		t.Fatalf("Footprint changed across Reset: %d -> %d", foot, a.Footprint())
+	}
+}
+
+func TestLargeAllocGetsOwnSlab(t *testing.T) {
+	var a Arena[byte]
+	big := a.AllocN(3 * maxSlab)
+	if len(big) != 3*maxSlab {
+		t.Fatalf("len = %d", len(big))
+	}
+	small := a.AllocN(1)
+	small[0] = 1
+	big[len(big)-1] = 2
+	if small[0] != 1 {
+		t.Fatal("allocations overlap")
+	}
+}
+
+func TestAllocPointerStableUntilReset(t *testing.T) {
+	var a Arena[[2]float64]
+	p := a.Alloc()
+	(*p)[0] = 1.5
+	for i := 0; i < 10_000; i++ {
+		_ = a.Alloc()
+	}
+	if (*p)[0] != 1.5 {
+		t.Fatal("earlier allocation moved or was clobbered by later ones")
+	}
+}
+
+func TestSteadyStateAllocFree(t *testing.T) {
+	var a Arena[int]
+	round := func() {
+		for i := 0; i < 50; i++ {
+			s := a.AllocN(100)
+			s[0] = i
+		}
+		a.Reset()
+	}
+	round() // warm up slab growth
+	round()
+	if n := testing.AllocsPerRun(50, round); n != 0 {
+		t.Fatalf("steady-state round allocates %.1f times, want 0", n)
+	}
+}
+
+func TestAllocNNonPositive(t *testing.T) {
+	var a Arena[int]
+	if s := a.AllocN(0); s != nil {
+		t.Fatal("AllocN(0) should be nil")
+	}
+	if s := a.AllocN(-3); s != nil {
+		t.Fatal("AllocN(-3) should be nil")
+	}
+}

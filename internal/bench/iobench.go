@@ -1,0 +1,369 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"sllt/internal/cts"
+	"sllt/internal/design"
+	"sllt/internal/designgen"
+	"sllt/internal/lefdef"
+)
+
+// IOResult is one (operation, sink-tier) row of the I/O trajectory. Bytes is
+// the DEF text moved; TotalAlloc and RetainedHeap are runtime.MemStats
+// deltas around the operation — TotalAlloc counts everything the operation
+// ever allocated, RetainedHeap what is still live (after GC) while the
+// result is held. For the streaming parser the gap between the two is the
+// scanner's whole working set: one fixed buffer, regardless of file size.
+type IOResult struct {
+	Op           string  `json:"op"`
+	N            int     `json:"n"`     // clock sinks in the tier
+	Bytes        int64   `json:"bytes"` // DEF bytes read or written
+	Ns           int64   `json:"ns"`
+	MBPerS       float64 `json:"mb_per_s"`
+	TotalAlloc   int64   `json:"total_alloc_bytes"`
+	RetainedHeap int64   `json:"retained_heap_bytes"`
+}
+
+// IOFlow is the end-to-end tier: generate → stream to disk → stream-parse
+// back → build the design DB → synthesize → stream-export, with the live
+// heap sampled (post-GC) at every phase boundary. This is the record of the
+// first million-sink flow the repo can hold in one process.
+type IOFlow struct {
+	N            int     `json:"n"`
+	Workers      int     `json:"workers"`
+	GenNs        int64   `json:"gen_ns"`
+	ParseNs      int64   `json:"parse_ns"`
+	FlowNs       int64   `json:"flow_ns"`
+	ExportNs     int64   `json:"export_ns"`
+	DefBytes     int64   `json:"def_bytes"`
+	ExportBytes  int64   `json:"export_bytes"`
+	Levels       int     `json:"levels"`
+	Buffers      int     `json:"buffers"`
+	SkewPs       float64 `json:"skew_ps"`
+	MaxLatPs     float64 `json:"max_latency_ps"`
+	WLUm         float64 `json:"wl_um"`
+	PeakLiveHeap int64   `json:"peak_live_heap_bytes"`
+}
+
+// IOReport is the top-level BENCH_7.json document.
+type IOReport struct {
+	Schema  string     `json:"schema"`
+	Seed    int64      `json:"seed"`
+	Tiers   []int      `json:"tiers"`
+	RefMaxN int        `json:"ref_max_n"`
+	Results []IOResult `json:"results"`
+	Flow    *IOFlow    `json:"flow,omitempty"`
+}
+
+// ioSpec is the benchmark design shape at a sink tier: half the instances
+// are flip-flops, half logic filler, matching the DEF-size-per-sink ratio
+// the flow tables use closely enough while keeping the million-sink tier's
+// design DB within a workstation's memory.
+func ioSpec(n int) designgen.Spec {
+	return designgen.Spec{Name: fmt.Sprintf("io_%d", n), Insts: 2 * n, FFs: n, Util: 0.62}
+}
+
+// ioMeasure runs op once between two GC'd MemStats readings. The returned
+// retained delta is the live-heap growth attributable to whatever op left
+// behind (its returned result must be kept alive by the caller's closure
+// until ioMeasure returns).
+func ioMeasure(op func() error) (ns, totalAlloc, retained int64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err = op()
+	elapsed := time.Since(start)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	return elapsed.Nanoseconds(),
+		int64(after.TotalAlloc - before.TotalAlloc),
+		int64(after.HeapAlloc) - int64(before.HeapAlloc),
+		err
+}
+
+func mbPerS(bytes, ns int64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / (float64(ns) / 1e9)
+}
+
+// countWriter counts bytes and discards them: export throughput without
+// disk noise.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// RunIOBench measures DEF I/O at each sink tier: streaming generate-to-disk
+// throughput, then parse (streaming vs the retained legacy
+// read-whole-file-and-tokenize path) and export (streaming vs the legacy
+// build-the-whole-string renderer). The legacy sides are O(n) in tokens and
+// rendered text, so they only run on tiers ≤ refMaxN — above that the
+// streaming column stands alone, which is the point. flowN > 0 appends the
+// end-to-end flow tier. All inputs derive from seed.
+func RunIOBench(tiers []int, seed int64, refMaxN, flowN, workers int) (IOReport, error) {
+	rep := IOReport{
+		Schema:  "sllt-io-bench/v1",
+		Seed:    seed,
+		Tiers:   append([]int(nil), tiers...),
+		RefMaxN: refMaxN,
+	}
+	dir, err := os.MkdirTemp("", "sllt-iobench")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(dir)
+
+	var g designgen.Generator
+	for _, n := range tiers {
+		path := filepath.Join(dir, fmt.Sprintf("io_%d.def", n))
+		d := g.Generate(ioSpec(n), seed)
+
+		// Streaming generate-to-disk: the only way tiers past refMaxN ever
+		// reach a file.
+		var fileBytes int64
+		ns, total, _, err := ioMeasure(func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := designgen.StreamDEF(f, d); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
+		if err != nil {
+			return rep, err
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return rep, err
+		}
+		fileBytes = st.Size()
+		rep.Results = append(rep.Results, IOResult{
+			Op: "def_write_stream", N: n, Bytes: fileBytes, Ns: ns,
+			MBPerS: mbPerS(fileBytes, ns), TotalAlloc: total,
+		})
+
+		// Legacy in-memory render, for the writer speedup column.
+		if n <= refMaxN {
+			def := designgen.DEF(d)
+			var rendered int64
+			ns, total, _, err := ioMeasure(func() error {
+				s := def.WriteDEFLegacy()
+				rendered = int64(len(s))
+				return nil
+			})
+			if err != nil {
+				return rep, err
+			}
+			rep.Results = append(rep.Results, IOResult{
+				Op: "def_write_legacy", N: n, Bytes: rendered, Ns: ns,
+				MBPerS: mbPerS(rendered, ns), TotalAlloc: total,
+			})
+		}
+
+		// Streaming export of the same structure to a counting sink: writer
+		// throughput with the disk factored out.
+		{
+			def := designgen.DEF(d)
+			var cw countWriter
+			ns, total, _, err := ioMeasure(func() error {
+				_, err := def.WriteTo(&cw)
+				return err
+			})
+			if err != nil {
+				return rep, err
+			}
+			rep.Results = append(rep.Results, IOResult{
+				Op: "def_export_stream", N: n, Bytes: cw.n, Ns: ns,
+				MBPerS: mbPerS(cw.n, ns), TotalAlloc: total,
+			})
+		}
+
+		// Legacy parse: read the whole file into a string, tokenize it all,
+		// then walk the token slice. Retained includes the result struct AND
+		// the full source text its name substrings pin.
+		if n <= refMaxN {
+			var keep *lefdef.DEF
+			ns, total, retained, err := ioMeasure(func() error {
+				src, err := os.ReadFile(path)
+				if err != nil {
+					return err
+				}
+				keep, err = lefdef.ParseDEFLegacy(string(src))
+				return err
+			})
+			if err != nil {
+				return rep, err
+			}
+			rep.Results = append(rep.Results, IOResult{
+				Op: "def_parse_legacy", N: n, Bytes: fileBytes, Ns: ns,
+				MBPerS: mbPerS(fileBytes, ns), TotalAlloc: total, RetainedHeap: retained,
+			})
+			runtime.KeepAlive(keep)
+		}
+
+		// Streaming parse: one fixed scanner buffer between the file and the
+		// result; retained is the result structure alone.
+		{
+			var keep *lefdef.DEF
+			ns, total, retained, err := ioMeasure(func() error {
+				f, err := os.Open(path)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				keep, err = lefdef.ParseDEFReader(f)
+				return err
+			})
+			if err != nil {
+				return rep, err
+			}
+			rep.Results = append(rep.Results, IOResult{
+				Op: "def_parse_stream", N: n, Bytes: fileBytes, Ns: ns,
+				MBPerS: mbPerS(fileBytes, ns), TotalAlloc: total, RetainedHeap: retained,
+			})
+			runtime.KeepAlive(keep)
+		}
+	}
+
+	if flowN > 0 {
+		flow, err := runIOFlow(flowN, seed, workers, dir)
+		if err != nil {
+			return rep, err
+		}
+		rep.Flow = flow
+	}
+	return rep, nil
+}
+
+// runIOFlow drives the full pipeline at n sinks the way cmd/slltcts does —
+// DEF on disk in, post-CTS DEF on disk out — sampling the post-GC live heap
+// at each phase boundary. SA refinement and k-means restarts are disabled:
+// the tier measures the I/O and construction path at scale, and those
+// refinement knobs multiply partition time without touching a byte of I/O.
+func runIOFlow(n int, seed int64, workers int, dir string) (*IOFlow, error) {
+	flow := &IOFlow{N: n, Workers: workers}
+	peak := func() {
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if h := int64(m.HeapAlloc); h > flow.PeakLiveHeap {
+			flow.PeakLiveHeap = h
+		}
+	}
+
+	inPath := filepath.Join(dir, "ioflow_in.def")
+	outPath := filepath.Join(dir, "ioflow_out.def")
+	var g designgen.Generator
+
+	start := time.Now()
+	d := g.Generate(ioSpec(n), seed)
+	f, err := os.Create(inPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := designgen.StreamDEF(f, d); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	flow.GenNs = time.Since(start).Nanoseconds()
+	st, err := os.Stat(inPath)
+	if err != nil {
+		return nil, err
+	}
+	flow.DefBytes = st.Size()
+	d = nil
+	g = designgen.Generator{}
+	peak()
+
+	start = time.Now()
+	in, err := os.Open(inPath)
+	if err != nil {
+		return nil, err
+	}
+	def, err := lefdef.ParseDEFReader(in)
+	in.Close()
+	if err != nil {
+		return nil, err
+	}
+	db, err := design.FromLEFDEF(designgen.LEF(nil), def, "clk")
+	if err != nil {
+		return nil, err
+	}
+	def = nil
+	flow.ParseNs = time.Since(start).Nanoseconds()
+	peak()
+
+	opts := cts.DefaultOptions()
+	opts.Workers = workers
+	opts.UseSA = false
+	opts.SAIters = 0
+	opts.KMeansRestarts = 1
+	start = time.Now()
+	res, err := cts.Run(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	flow.FlowNs = time.Since(start).Nanoseconds()
+	flow.Levels = res.Levels
+	flow.Buffers = res.Report.Buffers
+	flow.SkewPs = res.Report.Skew
+	flow.MaxLatPs = res.Report.MaxLatency
+	flow.WLUm = res.Report.WL
+	peak()
+
+	start = time.Now()
+	out, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cts.ExportDEFWriter(out, db, res); err != nil {
+		out.Close()
+		return nil, err
+	}
+	if err := out.Close(); err != nil {
+		return nil, err
+	}
+	flow.ExportNs = time.Since(start).Nanoseconds()
+	ost, err := os.Stat(outPath)
+	if err != nil {
+		return nil, err
+	}
+	flow.ExportBytes = ost.Size()
+	peak()
+	return flow, nil
+}
+
+// FormatIOReport renders the report as an aligned text table for the
+// benchtab console summary.
+func FormatIOReport(r IOReport) string {
+	out := fmt.Sprintf("DEF I/O benchmarks (seed %d)\n", r.Seed)
+	out += fmt.Sprintf("%-18s %9s %13s %12s %9s %14s %14s\n",
+		"op", "n", "bytes", "ns", "MB/s", "total_alloc", "retained")
+	for _, res := range r.Results {
+		out += fmt.Sprintf("%-18s %9d %13d %12d %9.1f %14d %14d\n",
+			res.Op, res.N, res.Bytes, res.Ns, res.MBPerS, res.TotalAlloc, res.RetainedHeap)
+	}
+	if f := r.Flow; f != nil {
+		out += fmt.Sprintf("flow n=%d workers=%d def_bytes=%d export_bytes=%d gen=%dms parse=%dms cts=%dms export=%dms levels=%d buffers=%d skew=%.2fps wl=%.0fum peak_live_heap=%dMB\n",
+			f.N, f.Workers, f.DefBytes, f.ExportBytes,
+			f.GenNs/1e6, f.ParseNs/1e6, f.FlowNs/1e6, f.ExportNs/1e6,
+			f.Levels, f.Buffers, f.SkewPs, f.WLUm, f.PeakLiveHeap>>20)
+	}
+	return out
+}

@@ -187,7 +187,11 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 	if err := flat.Validate(); err != nil {
 		return nil, err
 	}
-	nodes := make([]clockNode, len(flat.Sinks))
+	// All per-level construction memory comes from the flow's arenas (see
+	// levelScratch); the initial leaves go in nodeA[1] so level 0's reset of
+	// nodeA[0] cannot touch them.
+	var scratch levelScratch
+	nodes := scratch.nodeA[1].AllocN(len(flat.Sinks))
 	for i, s := range flat.Sinks {
 		leaf := tree.NewNode(tree.Sink, s.Loc)
 		leaf.Name = s.Name
@@ -217,7 +221,7 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 	// share of the global budget and the shares sum to the bound.
 	levelBound := levelShare(opts.Cons.SkewBound, estLevels(len(nodes), opts.Cons.MaxFanout))
 	for len(nodes) > opts.Cons.MaxFanout {
-		next, k, err := buildLevel(nodes, opts, ins, levelBound, res.Levels, sc)
+		next, k, err := buildLevel(nodes, opts, ins, levelBound, res.Levels, sc, &scratch)
 		if err != nil {
 			return nil, fmt.Errorf("cts level %d: %w", res.Levels, err)
 		}
@@ -388,10 +392,14 @@ func partitionLevel(nodes []clockNode, opts Options, level int, lv *obs.Span) ([
 // observations replay from the stored values.
 //
 // unit: levelBound ps ->
-func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, level int, sc *stageCache) ([]clockNode, int, error) {
+func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelBound float64, level int, sc *stageCache, scratch *levelScratch) ([]clockNode, int, error) {
 	lv := opts.Obs.Begin("level")
 	defer lv.End()
 	kprev := opts.Obs.Kernel().Snapshot()
+	// The input nodes occupy the other node arena (previous level's output),
+	// so rewinding this level's arenas reclaims only dead memory.
+	na := scratch.nodesFor(level)
+	scratch.resetLevel()
 
 	var (
 		assign  []int
@@ -419,27 +427,36 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 		}
 	}
 
-	// Bucket members per cluster with exact capacities (one counting pass),
-	// then carve each cluster's node slice out of a single shared backing
-	// array — the hot-path allocation pattern BenchmarkBuildLevelAllocs
-	// guards.
-	counts := make([]int, k)
+	// Bucket members per cluster with exact capacities (one counting pass)
+	// into a flattened, arena-backed index array, then carve each cluster's
+	// node slice out of a single arena-backed array — the hot-path
+	// allocation pattern BenchmarkBuildLevelAllocs guards. Bucket traversal
+	// (ascending cluster id, ascending node index within a cluster) matches
+	// the append-based bucketing this replaced, so cluster and member order
+	// — and therefore every downstream tree — is unchanged.
+	counts := scratch.intA.AllocN(k)
 	for _, a := range assign {
 		counts[a]++
 	}
-	members := make([][]int, k)
+	offs := scratch.intA.AllocN(k + 1)
+	sum := 0
 	for j, c := range counts {
-		if c > 0 {
-			members[j] = make([]int, 0, c)
-		}
+		offs[j] = sum
+		sum += c
 	}
+	offs[k] = sum
+	fill := scratch.intA.AllocN(k)
+	memberIdx := scratch.intA.AllocN(len(assign))
 	for i, a := range assign {
-		members[a] = append(members[a], i)
+		memberIdx[offs[a]+fill[a]] = i
+		fill[a]++
 	}
-	backing := make([]clockNode, len(nodes))
-	clusters := make([][]clockNode, 0, k)
+	backing := na.AllocN(len(nodes))
+	clusterHdrs := scratch.hdrA.AllocN(k)
+	nc := 0
 	off := 0
-	for _, mem := range members {
+	for j := 0; j < k; j++ {
+		mem := memberIdx[offs[j]:offs[j+1]]
 		if len(mem) == 0 {
 			continue
 		}
@@ -448,8 +465,10 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 		for _, m := range mem {
 			cluster = append(cluster, nodes[m])
 		}
-		clusters = append(clusters, cluster)
+		clusterHdrs[nc] = cluster
+		nc++
 	}
+	clusters := clusterHdrs[:nc]
 
 	// Cluster keys are derived serially before the fan-out (the hasher is
 	// not concurrency-safe, and key order must not depend on scheduling):
@@ -461,7 +480,8 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 		ckeys = make([]cache.Key, len(clusters))
 		nextIDs = make([]cache.Key, len(clusters))
 		ci := 0
-		for _, mem := range members {
+		for j := 0; j < k; j++ {
+			mem := memberIdx[offs[j]:offs[j+1]]
 			if len(mem) == 0 {
 				continue
 			}
@@ -487,7 +507,9 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 	if opts.Obs.Enabled() {
 		qors = make([]obs.NetQoR, len(clusters))
 	}
-	next := make([]clockNode, len(clusters))
+	// next is the following level's input; it lives in this level's node
+	// arena, which that level leaves untouched (it resets the other one).
+	next := na.AllocN(len(clusters))
 	err = parallel.ForEachSpan(opts.Workers, len(clusters), csp, "cluster", func(ci int) error {
 		cluster := clusters[ci]
 		if sc.active() {

@@ -1,7 +1,9 @@
 package cts
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"os"
 
 	"sllt/internal/design"
@@ -21,6 +23,43 @@ const ClockLayer = "metal4"
 // a panic or a silently empty file. Returns the exported DEF for callers
 // that report component/net counts.
 func ExportDEFFile(path string, d *design.Design, res *Result) (*lefdef.DEF, error) {
+	def, err := exportChecked(d, res)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cts: export: %w", err)
+	}
+	if err := streamDEF(f, def); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cts: export: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("cts: export: %w", err)
+	}
+	return def, nil
+}
+
+// ExportDEFWriter validates like ExportDEFFile and streams the post-CTS DEF
+// to w through a fixed-size buffer — the in-memory DEF structure is built,
+// but the rendered text never is, so writing a million-sink design costs
+// O(buffer) beyond the netlist itself. Returns the exported DEF for callers
+// that report component/net counts.
+func ExportDEFWriter(w io.Writer, d *design.Design, res *Result) (*lefdef.DEF, error) {
+	def, err := exportChecked(d, res)
+	if err != nil {
+		return nil, err
+	}
+	if err := streamDEF(w, def); err != nil {
+		return nil, fmt.Errorf("cts: export: %w", err)
+	}
+	return def, nil
+}
+
+// exportChecked is the defensive boundary shared by the file and writer
+// exporters: reject external state ExportDEF's assumptions don't cover.
+func exportChecked(d *design.Design, res *Result) (*lefdef.DEF, error) {
 	if d == nil {
 		return nil, fmt.Errorf("cts: export: nil design")
 	}
@@ -33,11 +72,16 @@ func ExportDEFFile(path string, d *design.Design, res *Result) (*lefdef.DEF, err
 	if d.NumFFs() == 0 {
 		return nil, fmt.Errorf("cts: export: clock net %q has no sinks", d.ClockNet)
 	}
-	def := ExportDEF(d, res)
-	if err := os.WriteFile(path, []byte(def.WriteDEF()), 0o644); err != nil {
-		return nil, fmt.Errorf("cts: export: %w", err)
+	return ExportDEF(d, res), nil
+}
+
+// streamDEF renders def to w through one bufio window.
+func streamDEF(w io.Writer, def *lefdef.DEF) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := def.WriteTo(bw); err != nil {
+		return err
 	}
-	return def, nil
+	return bw.Flush()
 }
 
 // ExportDEF emits the post-CTS netlist as DEF-lite: the original components

@@ -126,3 +126,45 @@ func TestExportDEFFileErrors(t *testing.T) {
 		t.Errorf("exported file does not re-parse: %v", err)
 	}
 }
+
+type exportFailWriter struct{ wrote bool }
+
+func (w *exportFailWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return 0, os.ErrClosed
+}
+
+// TestExportDEFWriter pins the streaming exporter to the in-memory
+// renderer byte for byte, and checks its error discipline: validation
+// failures surface before a single byte is written, and writer failures
+// come back wrapped as export errors.
+func TestExportDEFWriter(t *testing.T) {
+	spec := designgen.Spec{Name: "expw", Insts: 300, FFs: 60, Util: 0.6}
+	d := designgen.Generate(spec, 13)
+	opts := DefaultOptions()
+	opts.SAIters = 20
+	res, err := Run(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	out, err := ExportDEFWriter(&sb, d, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != out.WriteDEF() {
+		t.Error("streamed DEF differs from WriteDEF rendering")
+	}
+
+	fw := &exportFailWriter{}
+	if _, err := ExportDEFWriter(fw, nil, res); err == nil || !strings.Contains(err.Error(), "nil design") {
+		t.Errorf("nil design error = %v", err)
+	}
+	if fw.wrote {
+		t.Error("validation failure still wrote bytes")
+	}
+	if _, err := ExportDEFWriter(fw, d, res); err == nil || !strings.Contains(err.Error(), "cts: export:") {
+		t.Errorf("writer failure not wrapped: %v", err)
+	}
+}

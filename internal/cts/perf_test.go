@@ -69,6 +69,7 @@ func TestStageTimingManualClock(t *testing.T) {
 // the allocs/op column.
 func BenchmarkBuildLevelAllocs(b *testing.B) {
 	nodes, opts, ins, bound := benchNodes(b, 2000, 480)
+	var scratch levelScratch // reused across iterations, as Run reuses it across levels
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -85,7 +86,7 @@ func BenchmarkBuildLevelAllocs(b *testing.B) {
 			fresh[j].sub = leaf
 		}
 		b.StartTimer()
-		if _, _, err := buildLevel(fresh, opts, ins, bound, 0, nil); err != nil {
+		if _, _, err := buildLevel(fresh, opts, ins, bound, 0, nil, &scratch); err != nil {
 			b.Fatal(err)
 		}
 	}

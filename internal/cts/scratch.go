@@ -1,0 +1,35 @@
+package cts
+
+import "sllt/internal/arena"
+
+// levelScratch is Run's per-flow arena set: the construction memory a level
+// needs — node slices, member index buckets, cluster headers — is carved
+// from arenas that rewind between levels instead of churning the heap, so a
+// million-sink flow's level loop reaches a steady state with no per-level
+// slice allocations for these structures.
+//
+// Level L carves its backing and next-level node arrays from nodeA[L%2]
+// while its input nodes live in the other arena (they were the previous
+// level's output), so resetting nodeA[L%2] at the start of level L only
+// reclaims memory that went dead when level L-1 consumed it. Everything the
+// stage cache retains — partition assignments, driver subtrees, cluster
+// values — stays on the ordinary heap; arena memory never outlives Run.
+type levelScratch struct {
+	nodeA [2]arena.Arena[clockNode]
+	intA  arena.Arena[int]
+	hdrA  arena.Arena[[]clockNode]
+}
+
+// nodesFor returns the node arena level carves from, reset and ready.
+// The opposite arena — holding the level's input nodes — is untouched.
+func (s *levelScratch) nodesFor(level int) *arena.Arena[clockNode] {
+	a := &s.nodeA[level&1]
+	a.Reset()
+	return a
+}
+
+// resetLevel rewinds the arenas whose contents die with each level.
+func (s *levelScratch) resetLevel() {
+	s.intA.Reset()
+	s.hdrA.Reset()
+}

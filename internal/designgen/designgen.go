@@ -9,10 +9,13 @@
 package designgen
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 
+	"sllt/internal/arena"
 	"sllt/internal/design"
 	"sllt/internal/geom"
 	"sllt/internal/lefdef"
@@ -68,6 +71,25 @@ const (
 // Generate synthesizes a placed design for the spec. Deterministic for a
 // given spec and seed.
 func Generate(spec Spec, seed int64) *design.Design {
+	var g Generator
+	return g.Generate(spec, seed)
+}
+
+// Generator is a reusable design synthesizer: the instance array comes from
+// an arena and the placement-collision set is recycled, so benchmark loops
+// that generate tier after tier do not re-grow either. The returned design's
+// Insts slice is arena memory — it is valid only until the generator's next
+// Generate call, which rewinds the arena. The package-level Generate wraps a
+// throwaway Generator and has no such aliasing.
+type Generator struct {
+	instA arena.Arena[design.Instance]
+	used  map[[2]int]bool
+}
+
+// Generate synthesizes a placed design for the spec, reusing the
+// generator's memory. Output is identical to the package-level Generate for
+// the same (spec, seed).
+func (g *Generator) Generate(spec Spec, seed int64) *design.Design {
 	rng := rand.New(rand.NewSource(seed))
 	totalArea := float64(spec.Insts-spec.FFs)*logicArea + float64(spec.FFs)*ffArea
 	dieArea := totalArea / spec.Util
@@ -89,7 +111,23 @@ func Generate(spec Spec, seed int64) *design.Design {
 		centers[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
 	}
 	sigma := side / 18
-	used := make(map[[2]int]bool)
+	g.instA.Reset()
+	nFF := spec.FFs
+	if nFF < 0 {
+		nFF = 0
+	}
+	nLogic := spec.Insts - spec.FFs
+	if nLogic < 0 {
+		nLogic = 0
+	}
+	insts := g.instA.AllocN(nFF + nLogic)
+	d.Insts = insts
+	if g.used == nil {
+		g.used = make(map[[2]int]bool, spec.FFs)
+	} else {
+		clear(g.used)
+	}
+	used := g.used
 	for i := 0; i < spec.FFs; i++ {
 		c := centers[rng.Intn(nClusters)]
 		var p geom.Point
@@ -109,23 +147,23 @@ func Generate(spec Spec, seed int64) *design.Design {
 				c = geom.Pt(rng.Float64()*side, rng.Float64()*side)
 			}
 		}
-		d.Insts = append(d.Insts, design.Instance{
+		insts[i] = design.Instance{
 			Name:        fmt.Sprintf("ff_%05d", i),
 			Macro:       "DFFQX1",
 			Loc:         p,
 			IsSink:      true,
 			ClockPin:    "CK",
 			ClockPinCap: ffPinCap,
-		})
+		}
 	}
 	// Logic instances: uniform filler. They carry no clock pins but define
 	// the utilization and the DEF's scale.
-	for i := 0; i < spec.Insts-spec.FFs; i++ {
-		d.Insts = append(d.Insts, design.Instance{
+	for i := 0; i < nLogic; i++ {
+		insts[nFF+i] = design.Instance{
 			Name:  fmt.Sprintf("u_%06d", i),
 			Macro: "NAND2X1",
 			Loc:   geom.Pt(rng.Float64()*side, rng.Float64()*side),
-		})
+		}
 	}
 	return d
 }
@@ -210,4 +248,15 @@ func DEF(d *design.Design) *lefdef.DEF {
 	})
 	def.Nets = append(def.Nets, clock)
 	return def
+}
+
+// StreamDEF renders DEF(d) to w through a fixed-size buffer, byte-identical
+// to DEF(d).WriteDEF() but without ever materializing the rendered text —
+// the way multi-hundred-megabyte benchmark tiers reach disk.
+func StreamDEF(w io.Writer, d *design.Design) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := DEF(d).WriteTo(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
 }

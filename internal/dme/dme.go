@@ -290,7 +290,12 @@ func merge(a, b *mnode, opts Options) (*mnode, error) {
 	B := opts.SkewBound
 	spanA := a.hi - a.lo
 	spanB := b.hi - b.lo
-	if spanA > B+1e-9 || spanB > B+1e-9 {
+	// Accept exactly what merge itself guarantees: the output check below
+	// bounds m.hi-m.lo by B+1e-6, so a child produced by an earlier merge
+	// may carry up to that much accumulated rounding error (hi and lo are
+	// absolute delays, so the span subtraction cancels more bits as trees
+	// deepen — million-sink runs land a few 1e-9 over an exact bound).
+	if spanA > B+1e-6 || spanB > B+1e-6 {
 		return nil, fmt.Errorf("dme: child subtree skew (%g, %g) exceeds bound %g", spanA, spanB, B)
 	}
 	m := &mnode{d: d, left: a, right: b, sinkIdx: -1}

@@ -432,3 +432,20 @@ func TestUSTScheduledSkew(t *testing.T) {
 		}
 	}
 }
+
+// merge's output check grants m.hi-m.lo up to B+1e-6 of rounding slack, so
+// its input guard must accept children carrying that much: deep trees
+// (million-sink runs) hand a span a few 1e-9 over an exact bound back into
+// the next merge, and rejecting them fails a legal construction.
+func TestMergeAcceptsProducerRoundingSlack(t *testing.T) {
+	opts := Options{Model: Linear, SkewBound: 20, RegionGreed: -1}
+	a := &mnode{ms: geom.OctFromPoint(geom.Pt(0, 0)), sinkIdx: -1, lo: 0, hi: 20 + 5e-7}
+	b := &mnode{ms: geom.OctFromPoint(geom.Pt(1, 0)), sinkIdx: 0, lo: 10.5, hi: 10.5}
+	if _, err := merge(a, b, opts); err != nil {
+		t.Fatalf("merge rejected a child within producer rounding slack: %v", err)
+	}
+	a.hi = 20 + 1e-3 // a genuinely over-bound child must still be rejected
+	if _, err := merge(a, b, opts); err == nil {
+		t.Fatal("merge accepted a genuinely over-bound child")
+	}
+}

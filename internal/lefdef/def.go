@@ -2,7 +2,7 @@ package lefdef
 
 import (
 	"fmt"
-	"strconv"
+	"io"
 	"strings"
 
 	"sllt/internal/geom"
@@ -100,300 +100,405 @@ func (d *DEF) FindPin(name string) *IOPin {
 	return nil
 }
 
+// sectionCap bounds prealloc hints taken from section headers so a hostile
+// count ("COMPONENTS 99999999999 ;") cannot force a huge allocation up front.
+const sectionCap = 1 << 20
+
 // ParseDEF parses DEF-lite source.
 func ParseDEF(src string) (*DEF, error) {
-	toks := tokenize(src)
+	return ParseDEFReader(strings.NewReader(src))
+}
+
+// ParseDEFReader parses DEF-lite from r, streaming through a fixed reusable
+// buffer: peak parser memory is O(buffer)+O(result), independent of input
+// length. Results and parse errors are identical to ParseDEFLegacy on every
+// input; a reader failure is surfaced as "def: read: ..." in preference to
+// whatever truncation diagnostic the cut-short token stream would produce.
+func ParseDEFReader(r io.Reader) (*DEF, error) {
+	sc := NewScanner(r)
+	cur := newTokCursor(sc)
+	in := newInterner()
 	def := &DEF{DBU: 1000}
-	i := 0
-	for i < len(toks) {
-		switch toks[i] {
-		case "VERSION":
-			if i+1 < len(toks) {
-				def.Version = toks[i+1]
-			}
-			i = skipStatement(toks, i)
-		case "DESIGN":
-			if i+1 < len(toks) {
-				def.Design = toks[i+1]
-			}
-			i = skipStatement(toks, i)
-		case "UNITS":
-			// UNITS DISTANCE MICRONS n ;
-			for j := i; j < len(toks) && toks[j] != ";"; j++ {
-				if toks[j] == "MICRONS" && j+1 < len(toks) {
-					if v, err := strconv.Atoi(toks[j+1]); err == nil {
-						def.DBU = v
-					}
-				}
-			}
-			i = skipStatement(toks, i)
-		case "DIEAREA":
-			// DIEAREA ( x1 y1 ) ( x2 y2 ) ;
-			var nums []float64
-			for j := i; j < len(toks) && toks[j] != ";"; j++ {
-				if v, err := strconv.ParseFloat(toks[j], 64); err == nil {
-					nums = append(nums, v)
-				}
-			}
-			if len(nums) >= 4 {
-				s := float64(def.DBU)
-				def.Die = geom.Rect{XLo: nums[0] / s, YLo: nums[1] / s, XHi: nums[2] / s, YHi: nums[3] / s}
-			}
-			i = skipStatement(toks, i)
-		case "COMPONENTS":
-			next, err := def.parseComponents(toks, i)
-			if err != nil {
-				return nil, err
-			}
-			i = next
-		case "PINS":
-			next, err := def.parsePins(toks, i)
-			if err != nil {
-				return nil, err
-			}
-			i = next
-		case "NETS":
-			next, err := def.parseNets(toks, i)
-			if err != nil {
-				return nil, err
-			}
-			i = next
-		case "END":
-			i += 2
-		default:
-			i = skipStatement(toks, i)
-		}
+	err := def.parseStream(cur, in)
+	if rerr := sc.Err(); rerr != nil {
+		return nil, fmt.Errorf("def: read: %w", rerr)
 	}
-	if def.Design == "" {
-		return nil, fmt.Errorf("def: missing DESIGN statement")
+	if err != nil {
+		return nil, err
 	}
 	return def, nil
 }
 
-func (d *DEF) parseComponents(toks []string, i int) (int, error) {
-	i = skipStatement(toks, i) // consume "COMPONENTS n ;"
-	scale := float64(d.DBU)
-	for i < len(toks) {
-		if toks[i] == "END" {
-			return i + 2, nil // END COMPONENTS
+func (d *DEF) parseStream(cur *tokCursor, in *interner) error {
+	for {
+		t, ok := cur.peek(0)
+		if !ok {
+			break
 		}
-		if toks[i] != "-" {
-			return i, fmt.Errorf("def: expected '-' in COMPONENTS, got %q", toks[i])
-		}
-		if i+2 >= len(toks) {
-			return i, fmt.Errorf("def: truncated COMPONENTS entry")
-		}
-		c := Component{Name: toks[i+1], Macro: toks[i+2]}
-		j := i + 3
-		for j < len(toks) && toks[j] != ";" {
-			if (toks[j] == "PLACED" || toks[j] == "FIXED") && j+4 < len(toks) && toks[j+1] == "(" {
-				c.Placed = true
-				c.Loc = geom.Pt(atof(toks[j+2])/scale, atof(toks[j+3])/scale)
-				// The orient is optional; punctuation after ")" means it
-				// was omitted (grabbing it would corrupt WriteDEF output).
-				if j+5 < len(toks) && toks[j+4] == ")" {
-					if o := toks[j+5]; o != ";" && o != "+" && o != "(" && o != ")" {
-						c.Orient = o
-					}
-				}
-				j += 5
-				continue
+		switch {
+		case tokIs(t, "VERSION"):
+			if t1, ok1 := cur.peek(1); ok1 {
+				d.Version = string(t1)
 			}
-			j++
-		}
-		d.Components = append(d.Components, c)
-		i = j + 1
-	}
-	return i, fmt.Errorf("def: COMPONENTS not terminated")
-}
-
-func (d *DEF) parsePins(toks []string, i int) (int, error) {
-	i = skipStatement(toks, i)
-	scale := float64(d.DBU)
-	for i < len(toks) {
-		if toks[i] == "END" {
-			return i + 2, nil
-		}
-		if toks[i] != "-" {
-			return i, fmt.Errorf("def: expected '-' in PINS, got %q", toks[i])
-		}
-		if i+1 >= len(toks) {
-			return i, fmt.Errorf("def: truncated PINS entry")
-		}
-		p := IOPin{Name: toks[i+1]}
-		j := i + 2
-		for j < len(toks) && toks[j] != ";" {
-			switch toks[j] {
-			case "NET":
-				if j+1 < len(toks) {
-					p.Net = toks[j+1]
-				}
-				j++
-			case "DIRECTION":
-				if j+1 < len(toks) {
-					p.Direction = toks[j+1]
-				}
-				j++
-			case "USE":
-				if j+1 < len(toks) {
-					p.Use = toks[j+1]
-				}
-				j++
-			case "PLACED", "FIXED":
-				if j+3 < len(toks) && toks[j+1] == "(" {
-					p.Loc = geom.Pt(atof(toks[j+2])/scale, atof(toks[j+3])/scale)
-					j += 4
-				}
+			cur.skipStatement()
+		case tokIs(t, "DESIGN"):
+			if t1, ok1 := cur.peek(1); ok1 {
+				d.Design = string(t1)
 			}
-			j++
-		}
-		d.Pins = append(d.Pins, p)
-		i = j + 1
-	}
-	return i, fmt.Errorf("def: PINS not terminated")
-}
-
-func (d *DEF) parseNets(toks []string, i int) (int, error) {
-	i = skipStatement(toks, i)
-	for i < len(toks) {
-		if toks[i] == "END" {
-			return i + 2, nil
-		}
-		if toks[i] != "-" {
-			return i, fmt.Errorf("def: expected '-' in NETS, got %q", toks[i])
-		}
-		if i+1 >= len(toks) {
-			return i, fmt.Errorf("def: truncated NETS entry")
-		}
-		n := Net{Name: toks[i+1]}
-		j := i + 2
-		scale := float64(d.DBU)
-		for j < len(toks) && toks[j] != ";" {
-			switch toks[j] {
-			case "(":
-				if j+2 < len(toks) {
-					n.Conns = append(n.Conns, Conn{Comp: toks[j+1], Pin: toks[j+2]})
-					j += 2
-				}
-			case "+":
-				if j+1 >= len(toks) {
+			cur.skipStatement()
+		case tokIs(t, "UNITS"):
+			// UNITS DISTANCE MICRONS n ;
+			for k := 0; ; k++ {
+				tk, okk := cur.peek(k)
+				if !okk {
+					cur.advance(k)
 					break
 				}
-				switch toks[j+1] {
-				case "USE":
-					if j+2 < len(toks) {
-						n.Use = toks[j+2]
+				if isSemi(tk) {
+					cur.advance(k + 1)
+					break
+				}
+				if tokIs(tk, "MICRONS") {
+					if t1, ok1 := cur.peek(k + 1); ok1 {
+						if v, okv := atoiOKTok(t1); okv {
+							d.DBU = v
+						}
 					}
-					j += 2
-				case "ROUTED":
-					var next int
-					n.Routes, next = parseRoutes(toks, j+2, scale)
-					j = next - 1
 				}
 			}
-			j++
+		case tokIs(t, "DIEAREA"):
+			// DIEAREA ( x1 y1 ) ( x2 y2 ) ;
+			var nums [4]float64
+			cnt := 0
+			for k := 0; ; k++ {
+				tk, okk := cur.peek(k)
+				if !okk {
+					cur.advance(k)
+					break
+				}
+				if isSemi(tk) {
+					cur.advance(k + 1)
+					break
+				}
+				if v, okv := atofOKTok(tk); okv {
+					if cnt < 4 {
+						nums[cnt] = v
+					}
+					cnt++
+				}
+			}
+			if cnt >= 4 {
+				s := float64(d.DBU)
+				d.Die = geom.Rect{XLo: nums[0] / s, YLo: nums[1] / s, XHi: nums[2] / s, YHi: nums[3] / s}
+			}
+		case tokIs(t, "COMPONENTS"):
+			if err := d.parseComponentsStream(cur, in); err != nil {
+				return err
+			}
+		case tokIs(t, "PINS"):
+			if err := d.parsePinsStream(cur, in); err != nil {
+				return err
+			}
+		case tokIs(t, "NETS"):
+			if err := d.parseNetsStream(cur, in); err != nil {
+				return err
+			}
+		case tokIs(t, "END"):
+			cur.advance(2)
+		default:
+			cur.skipStatement()
+		}
+	}
+	if d.Design == "" {
+		return fmt.Errorf("def: missing DESIGN statement")
+	}
+	return nil
+}
+
+// headerCount reads the section count from "SECTION n ;" (peek(1)) as a
+// prealloc hint and consumes the header statement. The hint is only applied
+// at the first append so a zero-entry section still leaves the slice nil,
+// exactly like the legacy parser.
+func headerCount(cur *tokCursor) int {
+	n := 0
+	if t1, ok := cur.peek(1); ok {
+		if v, okv := atoiOKTok(t1); okv && v > 0 {
+			n = v
+			if n > sectionCap {
+				n = sectionCap
+			}
+		}
+	}
+	cur.skipStatement()
+	return n
+}
+
+func (d *DEF) parseComponentsStream(cur *tokCursor, in *interner) error {
+	capHint := headerCount(cur)
+	scale := float64(d.DBU)
+	var lastMacro, lastOrient string
+	for {
+		t, ok := cur.peek(0)
+		if !ok {
+			return fmt.Errorf("def: COMPONENTS not terminated")
+		}
+		if tokIs(t, "END") {
+			cur.advance(2) // END COMPONENTS
+			return nil
+		}
+		if !tokIs(t, "-") {
+			return fmt.Errorf("def: expected '-' in COMPONENTS, got %q", string(t))
+		}
+		if _, ok2 := cur.peek(2); !ok2 {
+			return fmt.Errorf("def: truncated COMPONENTS entry")
+		}
+		t1, _ := cur.peek(1)
+		name := string(t1)
+		t2, _ := cur.peek(2)
+		// Components arrive grouped by cell type, so a last-value cache in
+		// front of the interner turns most macro lookups into one compare.
+		if !tokIs(t2, lastMacro) {
+			lastMacro = in.str(t2)
+		}
+		c := Component{Name: name, Macro: lastMacro}
+		cur.advance(3)
+		for {
+			t, ok = cur.peek(0)
+			if !ok {
+				return fmt.Errorf("def: COMPONENTS not terminated")
+			}
+			if isSemi(t) {
+				cur.advance(1)
+				break
+			}
+			if tokIs(t, "PLACED") || tokIs(t, "FIXED") {
+				_, ok4 := cur.peek(4)
+				t1, _ = cur.peek(1)
+				if ok4 && isLParen(t1) {
+					c.Placed = true
+					tx, _ := cur.peek(2)
+					x := atofTok(tx) / scale
+					ty, _ := cur.peek(3)
+					y := atofTok(ty) / scale
+					c.Loc = geom.Pt(x, y)
+					// The orient is optional; punctuation after ")" means it
+					// was omitted (grabbing it would corrupt WriteDEF output).
+					if t5, ok5 := cur.peek(5); ok5 {
+						t4, _ := cur.peek(4)
+						if isRParen(t4) && !isPunct(t5) {
+							if !tokIs(t5, lastOrient) {
+								lastOrient = in.str(t5)
+							}
+							c.Orient = lastOrient
+						}
+					}
+					cur.advance(5)
+					continue
+				}
+			}
+			cur.advance(1)
+		}
+		if d.Components == nil && capHint > 0 {
+			d.Components = make([]Component, 0, capHint)
+		}
+		d.Components = append(d.Components, c)
+	}
+}
+
+func (d *DEF) parsePinsStream(cur *tokCursor, in *interner) error {
+	capHint := headerCount(cur)
+	scale := float64(d.DBU)
+	for {
+		t, ok := cur.peek(0)
+		if !ok {
+			return fmt.Errorf("def: PINS not terminated")
+		}
+		if tokIs(t, "END") {
+			cur.advance(2)
+			return nil
+		}
+		if !tokIs(t, "-") {
+			return fmt.Errorf("def: expected '-' in PINS, got %q", string(t))
+		}
+		t1, ok1 := cur.peek(1)
+		if !ok1 {
+			return fmt.Errorf("def: truncated PINS entry")
+		}
+		p := IOPin{Name: string(t1)}
+		cur.advance(2)
+		for {
+			t, ok = cur.peek(0)
+			if !ok {
+				return fmt.Errorf("def: PINS not terminated")
+			}
+			if isSemi(t) {
+				cur.advance(1)
+				break
+			}
+			switch {
+			case tokIs(t, "NET"):
+				if t1, ok1 = cur.peek(1); ok1 {
+					p.Net = string(t1)
+				}
+				cur.advance(2)
+			case tokIs(t, "DIRECTION"):
+				if t1, ok1 = cur.peek(1); ok1 {
+					p.Direction = in.str(t1)
+				}
+				cur.advance(2)
+			case tokIs(t, "USE"):
+				if t1, ok1 = cur.peek(1); ok1 {
+					p.Use = in.str(t1)
+				}
+				cur.advance(2)
+			case tokIs(t, "PLACED") || tokIs(t, "FIXED"):
+				_, ok3 := cur.peek(3)
+				t1, _ = cur.peek(1)
+				if ok3 && isLParen(t1) {
+					tx, _ := cur.peek(2)
+					x := atofTok(tx) / scale
+					ty, _ := cur.peek(3)
+					y := atofTok(ty) / scale
+					p.Loc = geom.Pt(x, y)
+					cur.advance(5)
+				} else {
+					cur.advance(1)
+				}
+			default:
+				cur.advance(1)
+			}
+		}
+		if d.Pins == nil && capHint > 0 {
+			d.Pins = make([]IOPin, 0, capHint)
+		}
+		d.Pins = append(d.Pins, p)
+	}
+}
+
+func (d *DEF) parseNetsStream(cur *tokCursor, in *interner) error {
+	capHint := headerCount(cur)
+	scale := float64(d.DBU)
+	var lastPin string
+	for {
+		t, ok := cur.peek(0)
+		if !ok {
+			return fmt.Errorf("def: NETS not terminated")
+		}
+		if tokIs(t, "END") {
+			cur.advance(2)
+			return nil
+		}
+		if !tokIs(t, "-") {
+			return fmt.Errorf("def: expected '-' in NETS, got %q", string(t))
+		}
+		t1, ok1 := cur.peek(1)
+		if !ok1 {
+			return fmt.Errorf("def: truncated NETS entry")
+		}
+		n := Net{Name: string(t1)}
+		cur.advance(2)
+		for {
+			t, ok = cur.peek(0)
+			if !ok {
+				return fmt.Errorf("def: NETS not terminated")
+			}
+			if isSemi(t) {
+				cur.advance(1)
+				break
+			}
+			switch {
+			case isLParen(t):
+				if _, ok2 := cur.peek(2); ok2 {
+					t1, _ = cur.peek(1)
+					comp := string(t1)
+					t2, _ := cur.peek(2)
+					// Pin names cluster (a clock net is all CK pins), so the
+					// same last-value cache as the COMPONENTS macro field.
+					if !tokIs(t2, lastPin) {
+						lastPin = in.str(t2)
+					}
+					n.Conns = append(n.Conns, Conn{Comp: comp, Pin: lastPin})
+					cur.advance(3)
+				} else {
+					cur.advance(1)
+				}
+			case isPlus(t):
+				t1, ok1 = cur.peek(1)
+				switch {
+				case !ok1:
+					cur.advance(1)
+				case tokIs(t1, "USE"):
+					if t2, ok2 := cur.peek(2); ok2 {
+						n.Use = in.str(t2)
+					}
+					cur.advance(3)
+				case tokIs(t1, "ROUTED"):
+					cur.advance(2)
+					n.Routes = parseRoutesStream(cur, in, scale)
+				default:
+					cur.advance(1)
+				}
+			default:
+				cur.advance(1)
+			}
+		}
+		if d.Nets == nil && capHint > 0 {
+			d.Nets = make([]Net, 0, capHint)
 		}
 		d.Nets = append(d.Nets, n)
-		i = j + 1
 	}
-	return i, fmt.Errorf("def: NETS not terminated")
 }
 
-// WriteDEF emits DEF-lite source.
-func (d *DEF) WriteDEF() string {
-	var b strings.Builder
-	v := d.Version
-	if v == "" {
-		v = "5.8"
-	}
-	scale := float64(d.DBU)
-	fmt.Fprintf(&b, "VERSION %s ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n", v, d.Design, d.DBU)
-	fmt.Fprintf(&b, "DIEAREA ( %d %d ) ( %d %d ) ;\n\n",
-		int(d.Die.XLo*scale), int(d.Die.YLo*scale), int(d.Die.XHi*scale), int(d.Die.YHi*scale))
-	fmt.Fprintf(&b, "COMPONENTS %d ;\n", len(d.Components))
-	for _, c := range d.Components {
-		orient := c.Orient
-		if orient == "" {
-			orient = "N"
-		}
-		fmt.Fprintf(&b, "  - %s %s + PLACED ( %d %d ) %s ;\n",
-			c.Name, c.Macro, int(c.Loc.X*scale), int(c.Loc.Y*scale), orient)
-	}
-	b.WriteString("END COMPONENTS\n\n")
-	fmt.Fprintf(&b, "PINS %d ;\n", len(d.Pins))
-	for _, p := range d.Pins {
-		fmt.Fprintf(&b, "  - %s + NET %s", p.Name, p.Net)
-		if p.Direction != "" {
-			fmt.Fprintf(&b, " + DIRECTION %s", p.Direction)
-		}
-		if p.Use != "" {
-			fmt.Fprintf(&b, " + USE %s", p.Use)
-		}
-		fmt.Fprintf(&b, " + PLACED ( %d %d ) N ;\n", int(p.Loc.X*scale), int(p.Loc.Y*scale))
-	}
-	b.WriteString("END PINS\n\n")
-	fmt.Fprintf(&b, "NETS %d ;\n", len(d.Nets))
-	for _, n := range d.Nets {
-		fmt.Fprintf(&b, "  - %s", n.Name)
-		for k, c := range n.Conns {
-			if k%4 == 0 {
-				b.WriteString("\n   ")
-			}
-			fmt.Fprintf(&b, " ( %s %s )", c.Comp, c.Pin)
-		}
-		if n.Use != "" {
-			fmt.Fprintf(&b, "\n    + USE %s", n.Use)
-		}
-		for ri, r := range n.Routes {
-			if ri == 0 {
-				fmt.Fprintf(&b, "\n    + ROUTED %s", r.Layer)
-			} else {
-				fmt.Fprintf(&b, "\n      NEW %s", r.Layer)
-			}
-			for _, p := range r.Points {
-				fmt.Fprintf(&b, " ( %d %d )", int(p.X*scale), int(p.Y*scale))
-			}
-		}
-		b.WriteString(" ;\n")
-	}
-	b.WriteString("END NETS\n\nEND DESIGN\n")
-	return b.String()
-}
-
-// parseRoutes consumes routed wiring after "+ ROUTED": one polyline per
-// layer section, sections separated by NEW. Coordinates may use the DEF "*"
-// shorthand for "unchanged". Returns the routes and the index of the first
-// unconsumed token.
-func parseRoutes(toks []string, i int, scale float64) ([]Route, int) {
+// parseRoutesStream consumes routed wiring after "+ ROUTED": one polyline
+// per layer section, sections separated by NEW. Coordinates may use the DEF
+// "*" shorthand for "unchanged". Stops at the first token that does not
+// belong to the route (';', '+', end of input), leaving it unconsumed.
+func parseRoutesStream(cur *tokCursor, in *interner, scale float64) []Route {
 	var routes []Route
-	for i < len(toks) {
-		if toks[i] == ";" || toks[i] == "+" {
-			return routes, i
+	for {
+		t, ok := cur.peek(0)
+		if !ok || isSemi(t) || isPlus(t) {
+			return routes
 		}
-		layer := toks[i]
-		i++
+		layer := in.str(t)
+		cur.advance(1)
 		r := Route{Layer: layer}
 		var last geom.Point
-		for i+2 < len(toks) && toks[i] == "(" {
-			// ( x y ) with * meaning "same as previous".
-			xs, ys := toks[i+1], toks[i+2]
-			x, y := last.X, last.Y
-			if xs != "*" {
-				x = atof(xs) / scale
+		for {
+			if _, ok2 := cur.peek(2); !ok2 {
+				break
 			}
-			if ys != "*" {
-				y = atof(ys) / scale
+			t0, _ := cur.peek(0)
+			if !isLParen(t0) {
+				break
+			}
+			// ( x y ) with * meaning "same as previous".
+			tx, _ := cur.peek(1)
+			x := last.X
+			if !isStar(tx) {
+				x = atofTok(tx) / scale
+			}
+			ty, _ := cur.peek(2)
+			y := last.Y
+			if !isStar(ty) {
+				y = atofTok(ty) / scale
 			}
 			last = geom.Pt(x, y)
 			r.Points = append(r.Points, last)
-			i += 4 // ( x y )
+			cur.advance(4) // ( x y )
 		}
 		routes = append(routes, r)
-		if i < len(toks) && toks[i] == "NEW" {
-			i++
+		if t, ok = cur.peek(0); ok && tokIs(t, "NEW") {
+			cur.advance(1)
 			continue
 		}
-		return routes, i
+		return routes
 	}
-	return routes, i
+}
+
+// WriteDEF emits DEF-lite source. It is a convenience wrapper over WriteTo.
+func (d *DEF) WriteDEF() string {
+	var b strings.Builder
+	d.WriteTo(&b) // strings.Builder writes cannot fail
+	return b.String()
 }

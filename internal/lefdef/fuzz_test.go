@@ -1,6 +1,12 @@
 package lefdef
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
 
 // FuzzParseDEF asserts ParseDEF returns errors — never panics — on
 // arbitrary input, and that any DEF it accepts survives a write/reparse
@@ -21,6 +27,43 @@ func FuzzParseDEF(f *testing.F) {
 		}
 		if _, err := ParseDEF(def.WriteDEF()); err != nil {
 			t.Fatalf("round trip of accepted DEF failed: %v", err)
+		}
+	})
+}
+
+// FuzzParseDEFReader differentially fuzzes the streaming parser against the
+// retained legacy parser: on every input both must agree on acceptance, on
+// the error message, and on the parsed structure, and accepted structures
+// must write identically through the streaming and legacy writers. Seeded
+// from the committed FuzzParseDEF corpus so every legacy-parser regression
+// input constrains the streaming path too.
+func FuzzParseDEFReader(f *testing.F) {
+	if ents, err := os.ReadDir("testdata/fuzz/FuzzParseDEF"); err == nil {
+		for _, e := range ents {
+			b, err := os.ReadFile(filepath.Join("testdata/fuzz/FuzzParseDEF", e.Name()))
+			if err != nil {
+				continue
+			}
+			if s, ok := decodeCorpusEntry(string(b)); ok {
+				f.Add(s)
+			}
+		}
+	}
+	f.Add(sampleDEF)
+	f.Fuzz(func(t *testing.T, src string) {
+		ld, lerr := ParseDEFLegacy(src)
+		sd, serr := ParseDEFReader(strings.NewReader(src))
+		if (lerr == nil) != (serr == nil) || (lerr != nil && lerr.Error() != serr.Error()) {
+			t.Fatalf("error mismatch:\nlegacy: %v\nstream: %v", lerr, serr)
+		}
+		if lerr != nil {
+			return
+		}
+		if !reflect.DeepEqual(ld, sd) {
+			t.Fatalf("parsed struct mismatch:\nlegacy: %#v\nstream: %#v", ld, sd)
+		}
+		if sd.WriteDEF() != ld.WriteDEFLegacy() {
+			t.Fatal("streaming and legacy writers disagree on accepted DEF")
 		}
 	})
 }

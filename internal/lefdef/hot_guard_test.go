@@ -1,0 +1,47 @@
+package lefdef
+
+import "testing"
+
+// Guard fixtures: token-stream fragments exercising the comment, UTF-8 and
+// punctuation branches, a preallocated append buffer, and sinks that keep the
+// compiler from discarding the guarded calls.
+var (
+	guardScanData  = []byte("  # comment line\n  COMPONENTS 42 ;\n")
+	guardTokenData = []byte("clkbuf_0001(x")
+	guardAppendBuf = make([]byte, 0, 64)
+
+	guardSinkN int
+	guardSinkB bool
+	guardSinkS []byte
+)
+
+// allocFreeGuards pins every // hot: alloc-free kernel in this package at
+// zero steady-state allocations, keyed by the kernel's display name. The
+// guardcov test in internal/analysis/hotpath checks the map stays in sync
+// with the annotations.
+var allocFreeGuards = map[string]func(){
+	"skipBlanks": func() {
+		guardSinkN, guardSinkB, _ = skipBlanks(guardScanData, false, true)
+	},
+	"scanToken": func() {
+		guardSinkN, guardSinkB = scanToken(guardTokenData, true, 0)
+	},
+	"appendInt": func() {
+		guardSinkS = appendInt(guardAppendBuf[:0], -1234567)
+	},
+	"appendScaled": func() {
+		guardSinkS = appendScaled(guardAppendBuf[:0], 123.4567, 1000)
+	},
+	"appendFixed4": func() {
+		guardSinkS = appendFixed4(guardAppendBuf[:0], 3.14159)
+	},
+}
+
+func TestAllocFreeGuards(t *testing.T) {
+	for name, fn := range allocFreeGuards {
+		fn() // warm up any first-call growth before measuring
+		if n := testing.AllocsPerRun(100, fn); n != 0 {
+			t.Errorf("%s allocates %.1f times per op, want 0", name, n)
+		}
+	}
+}

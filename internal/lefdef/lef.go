@@ -4,6 +4,12 @@
 // the same subset, including the post-CTS DEF with inserted clock buffers and
 // the decomposed clock subnets.
 //
+// Parsing and writing are streaming: the parsers read from an io.Reader
+// through a fixed reusable token buffer (see Scanner) and the writers emit
+// through a small append buffer, so peak I/O memory is O(buffer)+O(design)
+// rather than O(file)+O(tokens). The whole-string entry points are thin
+// wrappers over the streaming ones.
+//
 // Dimensions in the parsed structures are micrometers (converted from
 // database units at the boundary); the raw DBU factor is preserved for
 // round-tripping.
@@ -11,7 +17,7 @@ package lefdef
 
 import (
 	"fmt"
-	"strconv"
+	"io"
 	"strings"
 )
 
@@ -60,176 +66,162 @@ func (m *Macro) ClockPin() *MacroPin {
 
 // ParseLEF parses LEF-lite source.
 func ParseLEF(src string) (*LEF, error) {
-	toks := tokenize(src)
+	return ParseLEFReader(strings.NewReader(src))
+}
+
+// ParseLEFReader parses LEF-lite from r, streaming through a fixed reusable
+// buffer (see ParseDEFReader for the memory and error contract). Results and
+// parse errors are identical to ParseLEFLegacy on every input.
+func ParseLEFReader(r io.Reader) (*LEF, error) {
+	sc := NewScanner(r)
+	cur := newTokCursor(sc)
+	in := newInterner()
 	lef := &LEF{DBU: 1000}
-	i := 0
-	for i < len(toks) {
-		switch toks[i] {
-		case "VERSION":
-			if i+1 < len(toks) {
-				lef.Version = toks[i+1]
-			}
-			i = skipStatement(toks, i)
-		case "UNITS":
-			// UNITS DATABASE MICRONS n ; END UNITS
-			for i < len(toks) && toks[i] != "END" {
-				if toks[i] == "MICRONS" && i+1 < len(toks) {
-					if v, err := strconv.Atoi(toks[i+1]); err == nil {
-						lef.DBU = v
-					}
-				}
-				i++
-			}
-			i += 2 // END UNITS
-		case "MACRO":
-			m, next, err := parseMacro(toks, i)
-			if err != nil {
-				return nil, err
-			}
-			lef.Macros = append(lef.Macros, m)
-			i = next
-		case "END":
-			// END LIBRARY or stray END
-			i += 2
-		default:
-			i = skipStatement(toks, i)
-		}
+	err := lef.parseStream(cur, in)
+	if rerr := sc.Err(); rerr != nil {
+		return nil, fmt.Errorf("lef: read: %w", rerr)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return lef, nil
 }
 
-func parseMacro(toks []string, i int) (*Macro, int, error) {
-	if toks[i] != "MACRO" || i+1 >= len(toks) {
-		return nil, i, fmt.Errorf("lef: malformed MACRO at token %d", i)
-	}
-	m := &Macro{Name: toks[i+1]}
-	i += 2
-	for i < len(toks) {
-		switch toks[i] {
-		case "CLASS":
-			if i+1 < len(toks) {
-				m.Class = toks[i+1]
+func (l *LEF) parseStream(cur *tokCursor, in *interner) error {
+	for {
+		t, ok := cur.peek(0)
+		if !ok {
+			return nil
+		}
+		switch {
+		case tokIs(t, "VERSION"):
+			if t1, ok1 := cur.peek(1); ok1 {
+				l.Version = string(t1)
 			}
-			i = skipStatement(toks, i)
-		case "SIZE":
-			// SIZE w BY h ;
-			if i+3 < len(toks) {
-				m.W = atof(toks[i+1])
-				m.H = atof(toks[i+3])
+			cur.skipStatement()
+		case tokIs(t, "UNITS"):
+			// UNITS DATABASE MICRONS n ; END UNITS
+			for k := 0; ; k++ {
+				tk, okk := cur.peek(k)
+				if !okk || tokIs(tk, "END") {
+					cur.advance(k + 2) // END UNITS
+					break
+				}
+				if tokIs(tk, "MICRONS") {
+					if t1, ok1 := cur.peek(k + 1); ok1 {
+						if v, okv := atoiOKTok(t1); okv {
+							l.DBU = v
+						}
+					}
+				}
 			}
-			i = skipStatement(toks, i)
-		case "PIN":
-			p, next, err := parseMacroPin(toks, i)
+		case tokIs(t, "MACRO"):
+			m, err := parseMacroStream(cur, in)
 			if err != nil {
-				return nil, i, err
+				return err
+			}
+			l.Macros = append(l.Macros, m)
+		case tokIs(t, "END"):
+			// END LIBRARY or stray END
+			cur.advance(2)
+		default:
+			cur.skipStatement()
+		}
+	}
+}
+
+// parseMacroStream parses one MACRO block; the cursor is positioned on the
+// "MACRO" keyword. Diagnostics embed the absolute token ordinal, matching
+// the legacy parser's slice index.
+func parseMacroStream(cur *tokCursor, in *interner) (*Macro, error) {
+	t1, ok := cur.peek(1)
+	if !ok {
+		return nil, fmt.Errorf("lef: malformed MACRO at token %d", cur.pos())
+	}
+	m := &Macro{Name: string(t1)}
+	cur.advance(2)
+	for {
+		t, ok0 := cur.peek(0)
+		if !ok0 {
+			return nil, fmt.Errorf("lef: macro %s not terminated", m.Name)
+		}
+		switch {
+		case tokIs(t, "CLASS"):
+			if t1, ok = cur.peek(1); ok {
+				m.Class = in.str(t1)
+			}
+			cur.skipStatement()
+		case tokIs(t, "SIZE"):
+			// SIZE w BY h ;
+			if _, ok3 := cur.peek(3); ok3 {
+				tw, _ := cur.peek(1)
+				m.W = atofTok(tw)
+				th, _ := cur.peek(3)
+				m.H = atofTok(th)
+			}
+			cur.skipStatement()
+		case tokIs(t, "PIN"):
+			p, err := parseMacroPinStream(cur, in)
+			if err != nil {
+				return nil, err
 			}
 			m.Pins = append(m.Pins, p)
-			i = next
-		case "END":
-			if i+1 < len(toks) && toks[i+1] == m.Name {
-				return m, i + 2, nil
+		case tokIs(t, "END"):
+			if t1, ok = cur.peek(1); ok && string(t1) == m.Name {
+				cur.advance(2)
+				return m, nil
 			}
-			i++
+			cur.advance(1)
 		default:
-			i = skipStatement(toks, i)
+			cur.skipStatement()
 		}
 	}
-	return nil, i, fmt.Errorf("lef: macro %s not terminated", m.Name)
 }
 
-func parseMacroPin(toks []string, i int) (MacroPin, int, error) {
-	if i+1 >= len(toks) {
-		return MacroPin{}, i, fmt.Errorf("lef: truncated PIN at token %d", i)
+func parseMacroPinStream(cur *tokCursor, in *interner) (MacroPin, error) {
+	t1, ok := cur.peek(1)
+	if !ok {
+		return MacroPin{}, fmt.Errorf("lef: truncated PIN at token %d", cur.pos())
 	}
-	p := MacroPin{Name: toks[i+1]}
-	i += 2
-	for i < len(toks) {
-		switch toks[i] {
-		case "DIRECTION":
-			if i+1 < len(toks) {
-				p.Direction = toks[i+1]
+	p := MacroPin{Name: string(t1)}
+	cur.advance(2)
+	for {
+		t, ok0 := cur.peek(0)
+		if !ok0 {
+			return p, fmt.Errorf("lef: pin %s not terminated", p.Name)
+		}
+		switch {
+		case tokIs(t, "DIRECTION"):
+			if t1, ok = cur.peek(1); ok {
+				p.Direction = in.str(t1)
 			}
-			i = skipStatement(toks, i)
-		case "USE":
-			if i+1 < len(toks) {
-				p.Use = toks[i+1]
+			cur.skipStatement()
+		case tokIs(t, "USE"):
+			if t1, ok = cur.peek(1); ok {
+				p.Use = in.str(t1)
 			}
-			i = skipStatement(toks, i)
-		case "CAPACITANCE":
-			if i+1 < len(toks) {
-				p.Cap = atof(toks[i+1])
+			cur.skipStatement()
+		case tokIs(t, "CAPACITANCE"):
+			if t1, ok = cur.peek(1); ok {
+				p.Cap = atofTok(t1)
 			}
-			i = skipStatement(toks, i)
-		case "END":
-			if i+1 < len(toks) && toks[i+1] == p.Name {
-				return p, i + 2, nil
+			cur.skipStatement()
+		case tokIs(t, "END"):
+			if t1, ok = cur.peek(1); ok && string(t1) == p.Name {
+				cur.advance(2)
+				return p, nil
 			}
-			i++
+			cur.advance(1)
 		default:
-			i = skipStatement(toks, i)
+			cur.skipStatement()
 		}
 	}
-	return p, i, fmt.Errorf("lef: pin %s not terminated", p.Name)
 }
 
-// WriteLEF emits LEF-lite source for the structure.
+// WriteLEF emits LEF-lite source for the structure. It is a convenience
+// wrapper over WriteTo.
 func (l *LEF) WriteLEF() string {
 	var b strings.Builder
-	v := l.Version
-	if v == "" {
-		v = "5.8"
-	}
-	fmt.Fprintf(&b, "VERSION %s ;\nUNITS\n  DATABASE MICRONS %d ;\nEND UNITS\n\n", v, l.DBU)
-	for _, m := range l.Macros {
-		fmt.Fprintf(&b, "MACRO %s\n", m.Name)
-		if m.Class != "" {
-			fmt.Fprintf(&b, "  CLASS %s ;\n", m.Class)
-		}
-		fmt.Fprintf(&b, "  SIZE %.4f BY %.4f ;\n", m.W, m.H)
-		for _, p := range m.Pins {
-			fmt.Fprintf(&b, "  PIN %s\n", p.Name)
-			if p.Direction != "" {
-				fmt.Fprintf(&b, "    DIRECTION %s ;\n", p.Direction)
-			}
-			if p.Use != "" {
-				fmt.Fprintf(&b, "    USE %s ;\n", p.Use)
-			}
-			if p.Cap != 0 {
-				fmt.Fprintf(&b, "    CAPACITANCE %.4f ;\n", p.Cap)
-			}
-			fmt.Fprintf(&b, "  END %s\n", p.Name)
-		}
-		fmt.Fprintf(&b, "END %s\n\n", m.Name)
-	}
-	b.WriteString("END LIBRARY\n")
+	l.WriteTo(&b) // strings.Builder writes cannot fail
 	return b.String()
-}
-
-// tokenize splits source into tokens, treating parentheses and semicolons
-// as standalone tokens and stripping # comments.
-func tokenize(src string) []string {
-	var toks []string
-	for _, line := range strings.Split(src, "\n") {
-		if idx := strings.IndexByte(line, '#'); idx >= 0 {
-			line = line[:idx]
-		}
-		line = strings.ReplaceAll(line, "(", " ( ")
-		line = strings.ReplaceAll(line, ")", " ) ")
-		line = strings.ReplaceAll(line, ";", " ; ")
-		toks = append(toks, strings.Fields(line)...)
-	}
-	return toks
-}
-
-// skipStatement advances past the next ';' (or to end of input).
-func skipStatement(toks []string, i int) int {
-	for i < len(toks) && toks[i] != ";" {
-		i++
-	}
-	return i + 1
-}
-
-func atof(s string) float64 {
-	v, _ := strconv.ParseFloat(s, 64)
-	return v
 }

@@ -1,0 +1,311 @@
+package lefdef
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// ---- differential harness: streaming vs legacy ----
+
+func diffDEF(t *testing.T, label, src string) {
+	t.Helper()
+	ld, lerr := ParseDEFLegacy(src)
+	sd, serr := ParseDEF(src)
+	diffCheck(t, label+" (string)", ld, lerr, sd, serr)
+	cd, cerr := ParseDEFReader(&chunkReader{data: []byte(src), n: 3})
+	diffCheck(t, label+" (chunked reader)", ld, lerr, cd, cerr)
+}
+
+func diffLEF(t *testing.T, label, src string) {
+	t.Helper()
+	ll, lerr := ParseLEFLegacy(src)
+	sl, serr := ParseLEF(src)
+	diffCheck(t, label+" (string)", ll, lerr, sl, serr)
+	cl, cerr := ParseLEFReader(&chunkReader{data: []byte(src), n: 3})
+	diffCheck(t, label+" (chunked reader)", ll, lerr, cl, cerr)
+}
+
+func diffCheck(t *testing.T, label string, legacy any, lerr error, stream any, serr error) {
+	t.Helper()
+	if (lerr == nil) != (serr == nil) || (lerr != nil && lerr.Error() != serr.Error()) {
+		t.Fatalf("%s: error mismatch:\nlegacy: %v\nstream: %v", label, lerr, serr)
+	}
+	if lerr == nil && !reflect.DeepEqual(legacy, stream) {
+		t.Fatalf("%s: parsed struct mismatch:\nlegacy: %#v\nstream: %#v", label, legacy, stream)
+	}
+}
+
+// chunkReader serves at most n bytes per Read, forcing the Scanner through
+// its refill paths on every token.
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := r.n
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// failReader serves its data, then fails.
+type failReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// ---- fuzz corpus replay ----
+
+// decodeCorpusEntry decodes one committed `go test fuzz v1` corpus file with
+// a single string argument.
+func decodeCorpusEntry(s string) (string, bool) {
+	header, body, ok := strings.Cut(s, "\n")
+	if !ok || !strings.HasPrefix(header, "go test fuzz v1") {
+		return "", false
+	}
+	body = strings.TrimSpace(body)
+	body = strings.TrimPrefix(body, "string(")
+	body = strings.TrimSuffix(body, ")")
+	u, err := strconv.Unquote(body)
+	return u, err == nil
+}
+
+func corpusEntries(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read corpus dir: %v", err)
+	}
+	out := make(map[string]string, len(ents))
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ok := decodeCorpusEntry(string(b))
+		if !ok {
+			t.Fatalf("undecodable corpus entry %s", e.Name())
+		}
+		out[e.Name()] = s
+	}
+	return out
+}
+
+func TestStreamDEFMatchesLegacyOverCorpus(t *testing.T) {
+	for name, src := range corpusEntries(t, "testdata/fuzz/FuzzParseDEF") {
+		diffDEF(t, name, src)
+	}
+}
+
+func TestStreamLEFMatchesLegacyOverCorpus(t *testing.T) {
+	for name, src := range corpusEntries(t, "testdata/fuzz/FuzzParseLEF") {
+		diffLEF(t, name, src)
+	}
+}
+
+func TestStreamMatchesLegacyOverFixtures(t *testing.T) {
+	golden, err := os.ReadFile("../cts/testdata/export_golden.def")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := map[string]string{
+		"sampleDEF":     sampleDEF,
+		"export_golden": string(golden),
+		"empty":         "",
+		"missingDesign": "VERSION 5.8 ;",
+		"routesStar":    "DESIGN d ;\nNETS 1 ;\n- n + ROUTED M1 ( 1 2 ) ( * 3 ) NEW M2 ( 4 5 ) ;\nEND NETS\n",
+		"nbsp":          "DESIGN d ;\nDESIGN e ;",
+		"invalidUTF8":   "DESIGN d\xff\xfe ;",
+		"hostileCount":  "DESIGN d ;\nCOMPONENTS 99999999999999999999 ;\nEND COMPONENTS\n",
+		"longComment":   "DESIGN d ; #" + strings.Repeat("c", 3*defaultScanBuf) + "\nVERSION 5.8 ;",
+		"longToken":     "DESIGN " + strings.Repeat("n", 2*defaultScanBuf) + " ;",
+	}
+	for name, src := range defs {
+		diffDEF(t, name, src)
+	}
+	diffLEF(t, "sampleLEF", sampleLEF)
+}
+
+// ---- CRLF fixtures (satellite: \r\n must behave exactly like \n) ----
+
+func TestCRLFFixtures(t *testing.T) {
+	for _, tc := range []struct{ path string }{{"testdata/crlf.def"}, {"testdata/crlf.lef"}} {
+		b, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(b)
+		if !strings.Contains(src, "\r\n") {
+			t.Fatalf("%s: fixture lost its CRLF endings", tc.path)
+		}
+		lf := strings.ReplaceAll(src, "\r\n", "\n")
+		if strings.HasSuffix(tc.path, ".def") {
+			diffDEF(t, tc.path, src)
+			crlfDef, err := ParseDEF(src)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.path, err)
+			}
+			lfDef, err := ParseDEF(lf)
+			if err != nil {
+				t.Fatalf("%s (LF): %v", tc.path, err)
+			}
+			if !reflect.DeepEqual(crlfDef, lfDef) {
+				t.Fatalf("%s: CRLF and LF parses differ", tc.path)
+			}
+		} else {
+			diffLEF(t, tc.path, src)
+			crlfLef, err := ParseLEF(src)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.path, err)
+			}
+			lfLef, err := ParseLEF(lf)
+			if err != nil {
+				t.Fatalf("%s (LF): %v", tc.path, err)
+			}
+			if !reflect.DeepEqual(crlfLef, lfLef) {
+				t.Fatalf("%s: CRLF and LF parses differ", tc.path)
+			}
+		}
+	}
+}
+
+// ---- scanner vs legacy tokenize ----
+
+func TestScannerMatchesLegacyTokenize(t *testing.T) {
+	inputs := []string{
+		sampleDEF,
+		sampleLEF,
+		"",
+		"a#comment\nb",
+		"a#comment\rstill\nb",
+		"x\r\ny",
+		"(;)",
+		"a(b;c)d",
+		"nbsp separated",
+		"\xff\xfe raw bytes",
+		"truncated rune \xe2\x82",
+		"#only a comment",
+		"trailing#",
+		"#" + strings.Repeat("c", 3*defaultScanBuf) + "\nafter",
+		strings.Repeat("t", 2*defaultScanBuf) + " tail",
+		"\v\f\t mixed \r blanks",
+	}
+	for i, src := range inputs {
+		want := tokenize(src)
+		for _, chunk := range []int{0, 1, 7} {
+			var r io.Reader = strings.NewReader(src)
+			if chunk > 0 {
+				r = &chunkReader{data: []byte(src), n: chunk}
+			}
+			sc := NewScanner(r)
+			var got []string
+			for {
+				tok, ok := sc.Next()
+				if !ok {
+					break
+				}
+				got = append(got, string(tok))
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("input %d chunk %d: tokens differ:\nscanner: %q\nlegacy:  %q", i, chunk, got, want)
+			}
+			if sc.Err() != nil {
+				t.Fatalf("input %d: unexpected scanner error %v", i, sc.Err())
+			}
+		}
+	}
+}
+
+func TestReaderErrorSurfaced(t *testing.T) {
+	boom := errors.New("disk on fire")
+	if _, err := ParseDEFReader(&failReader{data: []byte("DESIGN d ;\nCOMPO"), err: boom}); err == nil || !errors.Is(err, boom) || !strings.HasPrefix(err.Error(), "def: read:") {
+		t.Fatalf("DEF read error not surfaced: %v", err)
+	}
+	if _, err := ParseLEFReader(&failReader{data: []byte("MACRO m\n"), err: boom}); err == nil || !errors.Is(err, boom) || !strings.HasPrefix(err.Error(), "lef: read:") {
+		t.Fatalf("LEF read error not surfaced: %v", err)
+	}
+}
+
+// ---- writer identity ----
+
+func TestWriteDEFMatchesLegacy(t *testing.T) {
+	golden, err := os.ReadFile("../cts/testdata/export_golden.def")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, src := range map[string]string{"sample": sampleDEF, "golden": string(golden)} {
+		d, err := ParseDEF(src)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		want := d.WriteDEFLegacy()
+		if got := d.WriteDEF(); got != want {
+			t.Fatalf("%s: WriteDEF differs from legacy writer", label)
+		}
+		var sb strings.Builder
+		n, err := d.WriteTo(&sb)
+		if err != nil || n != int64(len(want)) || sb.String() != want {
+			t.Fatalf("%s: WriteTo = (%d, %v), want (%d, nil) with identical bytes", label, n, err, len(want))
+		}
+	}
+	// Empty-valued DEF exercises the default-orient and empty-section paths.
+	empty := &DEF{Design: "e", DBU: 100, Components: []Component{{Name: "c", Macro: "M"}}}
+	if empty.WriteDEF() != empty.WriteDEFLegacy() {
+		t.Fatal("empty DEF: WriteDEF differs from legacy writer")
+	}
+}
+
+func TestWriteLEFMatchesLegacy(t *testing.T) {
+	l, err := ParseLEF(sampleLEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := l.writeLEFLegacy()
+	if got := l.WriteLEF(); got != want {
+		t.Fatal("WriteLEF differs from legacy writer")
+	}
+	var sb strings.Builder
+	if n, err := l.WriteTo(&sb); err != nil || n != int64(len(want)) || sb.String() != want {
+		t.Fatalf("WriteTo = (%d, %v), want (%d, nil) with identical bytes", n, err, len(want))
+	}
+}
+
+func TestWriteToPropagatesWriteError(t *testing.T) {
+	d, err := ParseDEF(sampleDEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("pipe closed")
+	if _, werr := d.WriteTo(&failWriter{err: boom}); !errors.Is(werr, boom) {
+		t.Fatalf("WriteTo error = %v, want %v", werr, boom)
+	}
+}
+
+type failWriter struct{ err error }
+
+func (w *failWriter) Write(p []byte) (int, error) { return 0, w.err }

@@ -116,6 +116,9 @@ func (lx *lexer) next() (token, error) {
 		case c == '\\' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\n':
 			lx.line++
 			lx.pos += 2 // line continuation
+		case c == '\\' && lx.pos+2 < len(lx.src) && lx.src[lx.pos+1] == '\r' && lx.src[lx.pos+2] == '\n':
+			lx.line++
+			lx.pos += 3 // CRLF line continuation
 		case c == '"':
 			start := lx.pos + 1
 			end := start
@@ -171,8 +174,15 @@ func isIdentByte(c byte) bool {
 		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
 }
 
+// tokenSource is the lexer interface the parser consumes: the string-based
+// lexer above and the reader-based streamLexer both implement it and must
+// produce identical token streams (pinned by differential tests).
+type tokenSource interface {
+	next() (token, error)
+}
+
 type parser struct {
-	lx   *lexer
+	lx   tokenSource
 	tok  token
 	peek *token
 }
@@ -204,7 +214,16 @@ func (p *parser) peekTok() (token, error) {
 // ParseAST parses Liberty source into its top-level group (usually
 // `library (...) { ... }`).
 func ParseAST(src string) (*Group, error) {
-	p := &parser{lx: &lexer{src: src, line: 1}}
+	return ParseASTReader(strings.NewReader(src))
+}
+
+// ParseASTLegacy parses with the retained whole-string lexer, kept as the
+// reference the streaming lexer is differentially tested against.
+func ParseASTLegacy(src string) (*Group, error) {
+	return parseTop(&parser{lx: &lexer{src: src, line: 1}})
+}
+
+func parseTop(p *parser) (*Group, error) {
 	if err := p.advance(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package liberty
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // FuzzParseLiberty asserts Parse returns errors — never panics — on
 // arbitrary input, and that any library it accepts has at least one cell
@@ -13,6 +16,16 @@ func FuzzParseLiberty(f *testing.F) {
 	f.Add(`library (l) { k : "unterminated`)
 	f.Add("library")
 	f.Fuzz(func(t *testing.T, src string) {
+		// The streaming lexer behind Parse must agree with the retained
+		// legacy lexer on every input, error for error.
+		lg, lerr := ParseASTLegacy(src)
+		sg, serr := ParseAST(src)
+		if (lerr == nil) != (serr == nil) || (lerr != nil && lerr.Error() != serr.Error()) {
+			t.Fatalf("lexer divergence:\nlegacy: %v\nstream: %v", lerr, serr)
+		}
+		if lerr == nil && !reflect.DeepEqual(lg, sg) {
+			t.Fatal("lexer divergence: ASTs differ")
+		}
 		lib, err := Parse(src)
 		if err != nil {
 			return

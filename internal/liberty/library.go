@@ -2,6 +2,7 @@ package liberty
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -124,6 +125,20 @@ func Parse(src string) (*Library, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildLibrary(root)
+}
+
+// ParseReader is Parse over an io.Reader: the source streams through the
+// fixed-buffer lexer (see ParseASTReader) instead of being held in memory.
+func ParseReader(r io.Reader) (*Library, error) {
+	root, err := ParseASTReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return buildLibrary(root)
+}
+
+func buildLibrary(root *Group) (*Library, error) {
 	if root.Name != "library" {
 		return nil, fmt.Errorf("liberty: top-level group is %q, want library", root.Name)
 	}

@@ -1,0 +1,188 @@
+package liberty
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// diffAST checks the streaming parser against the retained legacy-lexer
+// parser: same acceptance, same error text, deeply-equal AST — both from the
+// string wrapper and from a deliberately tiny-chunked reader.
+func diffAST(t *testing.T, label, src string) {
+	t.Helper()
+	lg, lerr := ParseASTLegacy(src)
+	sg, serr := ParseAST(src)
+	diffASTCheck(t, label+" (string)", lg, lerr, sg, serr)
+	cg, cerr := ParseASTReader(&chunkReader{data: []byte(src), n: 3})
+	diffASTCheck(t, label+" (chunked reader)", lg, lerr, cg, cerr)
+}
+
+func diffASTCheck(t *testing.T, label string, legacy *Group, lerr error, stream *Group, serr error) {
+	t.Helper()
+	if (lerr == nil) != (serr == nil) || (lerr != nil && lerr.Error() != serr.Error()) {
+		t.Fatalf("%s: error mismatch:\nlegacy: %v\nstream: %v", label, lerr, serr)
+	}
+	if lerr == nil && !reflect.DeepEqual(legacy, stream) {
+		t.Fatalf("%s: AST mismatch:\nlegacy: %#v\nstream: %#v", label, legacy, stream)
+	}
+}
+
+type chunkReader struct {
+	data []byte
+	n    int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := r.n
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+type failReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestStreamASTMatchesLegacyOverCorpus(t *testing.T) {
+	dir := "testdata/fuzz/FuzzParseLiberty"
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		header, body, ok := strings.Cut(string(b), "\n")
+		if !ok || !strings.HasPrefix(header, "go test fuzz v1") {
+			t.Fatalf("unexpected corpus format in %s", e.Name())
+		}
+		body = strings.TrimSpace(body)
+		body = strings.TrimPrefix(body, "string(")
+		body = strings.TrimSuffix(body, ")")
+		src, err := strconv.Unquote(body)
+		if err != nil {
+			t.Fatalf("undecodable corpus entry %s: %v", e.Name(), err)
+		}
+		diffAST(t, e.Name(), src)
+	}
+}
+
+func TestStreamASTMatchesLegacyOverFixtures(t *testing.T) {
+	synth := GenerateSource("diff_28nm", Default28nmSpecs())
+	crlf, err := os.ReadFile("testdata/crlf.lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures := map[string]string{
+		"synthetic":           synth,
+		"crlf":                string(crlf),
+		"empty":               "",
+		"notGroup":            "a : b ;",
+		"unterminatedComment": "library (l) { /* no end",
+		"unterminatedString":  "library (l) { x : \"one\ntwo",
+		"continuationLF":      "library (l) { \\\n x : 1 ; }",
+		"loneBackslash":       "library (l) { \\\r x : 1 ; }",
+		"slashIdent":          "library (l) { bus : a/b ; }",
+		"commentLines":        "/* 1\n2\n3 */\nlibrary (l) {\n// tail\n}",
+	}
+	for name, src := range fixtures {
+		diffAST(t, name, src)
+	}
+}
+
+// TestCRLFContinuation pins the satellite fix: a backslash line continuation
+// followed by CRLF lexes like one followed by LF in both lexers, and the
+// CRLF fixture parses identically to its LF-normalized form.
+func TestCRLFContinuation(t *testing.T) {
+	crlfSrc := "library (l) {\r\n  values ( \\\r\n    \"1\" ) ;\r\n}\r\n"
+	lfSrc := strings.ReplaceAll(crlfSrc, "\r\n", "\n")
+	for label, parse := range map[string]func(string) (*Group, error){
+		"legacy": ParseASTLegacy,
+		"stream": ParseAST,
+	} {
+		cg, err := parse(crlfSrc)
+		if err != nil {
+			t.Fatalf("%s: CRLF continuation rejected: %v", label, err)
+		}
+		lg, err := parse(lfSrc)
+		if err != nil {
+			t.Fatalf("%s: LF form rejected: %v", label, err)
+		}
+		if !reflect.DeepEqual(cg, lg) {
+			t.Fatalf("%s: CRLF and LF parses differ", label)
+		}
+	}
+
+	b, err := os.ReadFile("testdata/crlf.lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(b)
+	if !strings.Contains(src, "\r\n") {
+		t.Fatal("crlf.lib fixture lost its CRLF endings")
+	}
+	cg, err := ParseAST(src)
+	if err != nil {
+		t.Fatalf("crlf.lib: %v", err)
+	}
+	lg, err := ParseAST(strings.ReplaceAll(src, "\r\n", "\n"))
+	if err != nil {
+		t.Fatalf("crlf.lib (LF): %v", err)
+	}
+	if !reflect.DeepEqual(cg, lg) {
+		t.Fatal("crlf.lib: CRLF and LF parses differ")
+	}
+	if _, err := ParseReader(strings.NewReader(src)); err != nil {
+		t.Fatalf("ParseReader over crlf.lib: %v", err)
+	}
+}
+
+func TestParseReaderMatchesParse(t *testing.T) {
+	src := GenerateSource("rdr_28nm", Default28nmSpecs())
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseReader(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ParseReader result differs from Parse")
+	}
+}
+
+func TestLibertyReaderErrorSurfaced(t *testing.T) {
+	boom := errors.New("nfs timeout")
+	_, err := ParseASTReader(&failReader{data: []byte("library (l) {"), err: boom})
+	if err == nil || !errors.Is(err, boom) || !strings.HasPrefix(err.Error(), "liberty: read:") {
+		t.Fatalf("read error not surfaced: %v", err)
+	}
+}
