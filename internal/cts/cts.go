@@ -10,6 +10,7 @@
 package cts
 
 import (
+	"context"
 	"fmt"
 
 	"math"
@@ -138,6 +139,14 @@ type Options struct {
 	// stable string (e.g. "cbs/greedydist/0.10"). Caching is disabled while
 	// BuildID is empty — an unnamed builder is never silently keyed.
 	BuildID string
+	// Ctx, when non-nil, lets callers cancel a running synthesis: the flow
+	// observes it at every stage boundary (before each level, the top net and
+	// the timing pass) and between cluster-build tasks, returning ctx.Err()
+	// wrapped with the stage it refused to start. nil means never cancelled.
+	// Like Workers and Obs, Ctx is deliberately unkeyed by the stage cache:
+	// cancellation changes when a run stops, never what a completed run
+	// produces — a cancelled run returns an error and stores nothing partial.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the paper's configuration: CBS topology engine,
@@ -221,6 +230,9 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 	// share of the global budget and the shares sum to the bound.
 	levelBound := levelShare(opts.Cons.SkewBound, estLevels(len(nodes), opts.Cons.MaxFanout))
 	for len(nodes) > opts.Cons.MaxFanout {
+		if err := ctxErr(opts.Ctx, "level", res.Levels); err != nil {
+			return nil, err
+		}
 		next, k, err := buildLevel(nodes, opts, ins, levelBound, res.Levels, sc, &scratch)
 		if err != nil {
 			return nil, fmt.Errorf("cts level %d: %w", res.Levels, err)
@@ -233,6 +245,9 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 		res.Levels++
 	}
 
+	if err := ctxErr(opts.Ctx, "top_net", -1); err != nil {
+		return nil, err
+	}
 	var top *tree.Tree
 	var topQ *obs.NetQoR
 	var topKey cache.Key
@@ -271,6 +286,9 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 		})
 	}
 
+	if err := ctxErr(opts.Ctx, "timing", -1); err != nil {
+		return nil, err
+	}
 	asp := opts.Obs.Begin("timing")
 	var rep *timing.Report
 	if sc.active() {
@@ -306,6 +324,22 @@ func Run(d *design.Design, opts Options) (*Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// ctxErr reports ctx's cancellation wrapped with the stage the flow refused
+// to start ("level 2", "top_net", ...; level < 0 omits the number). A nil
+// ctx never cancels — the zero-cost default for library callers.
+func ctxErr(ctx context.Context, stage string, level int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		if level >= 0 {
+			return fmt.Errorf("cts: cancelled before %s %d: %w", stage, level, err)
+		}
+		return fmt.Errorf("cts: cancelled before %s: %w", stage, err)
+	}
+	return nil
 }
 
 // estLevels predicts how many partition levels remain for n nodes.
@@ -510,7 +544,7 @@ func buildLevel(nodes []clockNode, opts Options, ins *buffering.Inserter, levelB
 	// next is the following level's input; it lives in this level's node
 	// arena, which that level leaves untouched (it resets the other one).
 	next := na.AllocN(len(clusters))
-	err = parallel.ForEachSpan(opts.Workers, len(clusters), csp, "cluster", func(ci int) error {
+	err = parallel.ForEachSpanCtx(opts.Ctx, opts.Workers, len(clusters), csp, "cluster", func(ci int) error {
 		cluster := clusters[ci]
 		if sc.active() {
 			if v, ok := sc.getCluster(ckeys[ci]); ok {

@@ -21,6 +21,7 @@ const SchemaVersion = "sllt.obs.report/v1.1"
 // serial level loop.
 type Recorder struct {
 	clock  Clock
+	sink   Sink
 	root   *Span
 	kernel KernelCounters
 
@@ -39,17 +40,24 @@ type Recorder struct {
 
 // New returns an enabled Recorder using the given clock (nil selects the
 // production wall clock). The root span "run" starts immediately.
-func New(clock Clock) *Recorder {
+func New(clock Clock) *Recorder { return NewWithSink(clock, nil) }
+
+// NewWithSink is New with a live event sink attached: every span begin/end
+// and level-QoR record is forwarded to sink as it happens (see Sink for the
+// concurrency contract). A nil sink is New.
+func NewWithSink(clock Clock, sink Sink) *Recorder {
 	if clock == nil {
 		clock = NewWallClock()
 	}
 	r := &Recorder{
 		clock:    clock,
+		sink:     sink,
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		dists:    make(map[string]*Dist),
 	}
 	r.root = &Span{rec: r, name: "run", task: -1, start: clock.Now()}
+	r.emit(Event{Kind: EventSpanBegin, Span: "run", Task: -1, AtNs: r.root.start})
 	return r
 }
 
@@ -95,6 +103,12 @@ func (r *Recorder) AddLevel(q LevelQoR) {
 	r.mu.Lock()
 	r.levels = append(r.levels, q)
 	r.mu.Unlock()
+	// Sink-gated so the sink-less path neither reads the clock (ManualClock
+	// sequences are part of the golden fixtures) nor heap-copies q.
+	if r.sink != nil {
+		lq := q
+		r.sink.Emit(Event{Kind: EventLevel, Task: -1, AtNs: r.clock.Now(), Level: &lq})
+	}
 }
 
 // SetTotals records the flow's final QoR numbers.

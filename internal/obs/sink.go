@@ -1,0 +1,47 @@
+package obs
+
+// Event kinds emitted to a Sink.
+const (
+	// EventSpanBegin fires when a span starts (Begin/BeginTask, and the
+	// implicit "run" root at recorder construction).
+	EventSpanBegin = "span_begin"
+	// EventSpanEnd fires when a span closes.
+	EventSpanEnd = "span_end"
+	// EventLevel fires when the flow records one level's QoR (AddLevel).
+	EventLevel = "level"
+)
+
+// Event is one live progress notification: a stage transition or a per-level
+// QoR record, emitted as it happens rather than at Snapshot time. Events are
+// what a serving layer streams to clients while a job runs; the Snapshot
+// report remains the authoritative post-run record (the event stream is its
+// prefix-observable form, not a replacement).
+type Event struct {
+	Kind  string    `json:"kind"`
+	Span  string    `json:"span,omitempty"`
+	Task  int       `json:"task"`             // >= 0 for fan-out task spans, -1 otherwise
+	AtNs  int64     `json:"at_ns"`            // unit: ns // clock reading at emission
+	DurNs int64     `json:"dur_ns,omitempty"` // unit: ns // span duration on span_end
+	Level *LevelQoR `json:"level,omitempty"`  // set on level events
+}
+
+// Sink receives live events from a Recorder. Implementations must be safe
+// for concurrent use: parallel cluster tasks emit span events from worker
+// goroutines. Emit must not block for long — it runs inline on the flow's
+// goroutines — and must not call back into the Recorder. Event order across
+// concurrent tasks follows the schedule; byte-stable streams require a
+// serial run (Workers=1) and a ManualClock, which is exactly how the server
+// package's golden tests pin the stream format.
+type Sink interface {
+	Emit(Event)
+}
+
+// emit forwards an event to the recorder's sink, if any. Nil-safe on both
+// the recorder and the sink: the disabled path and the sink-less path cost
+// one pointer test each.
+func (r *Recorder) emit(e Event) {
+	if r == nil || r.sink == nil {
+		return
+	}
+	r.sink.Emit(e)
+}

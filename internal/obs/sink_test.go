@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// collectSink is the test Sink: a mutex-guarded event log.
+type collectSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (c *collectSink) Emit(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// TestSinkEventStream pins the event protocol for a serial run under a
+// ManualClock: begin/end pairs in call order, level events carrying the QoR
+// record, and monotone clock readings — the determinism the server's golden
+// progress-stream fixtures rely on.
+func TestSinkEventStream(t *testing.T) {
+	sink := &collectSink{}
+	rec := NewWithSink(NewManualClock(1), sink)
+	lvl := rec.Begin("level")
+	cl := lvl.Begin("clusters")
+	cl.End()
+	lvl.End()
+	rec.AddLevel(LevelQoR{Level: 0, Nodes: 4, Clusters: 1})
+	rec.Snapshot() // closes the run root, emitting its span_end
+
+	want := []struct {
+		kind, span string
+	}{
+		{EventSpanBegin, "run"},
+		{EventSpanBegin, "level"},
+		{EventSpanBegin, "clusters"},
+		{EventSpanEnd, "clusters"},
+		{EventSpanEnd, "level"},
+		{EventLevel, ""},
+		{EventSpanEnd, "run"},
+	}
+	if len(sink.events) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(sink.events), len(want), sink.events)
+	}
+	var prev int64 = -1
+	for i, e := range sink.events {
+		if e.Kind != want[i].kind || e.Span != want[i].span {
+			t.Errorf("event %d = {%s %q}, want {%s %q}", i, e.Kind, e.Span, want[i].kind, want[i].span)
+		}
+		if e.AtNs < prev {
+			t.Errorf("event %d clock reading %d went backwards (prev %d)", i, e.AtNs, prev)
+		}
+		prev = e.AtNs
+	}
+	if lv := sink.events[5].Level; lv == nil || lv.Nodes != 4 {
+		t.Errorf("level event payload = %+v, want the AddLevel record", sink.events[5].Level)
+	}
+	if end := sink.events[3]; end.DurNs == 0 {
+		t.Errorf("span_end carries no duration: %+v", end)
+	}
+}
+
+// TestSinkTaskSpans pins task-span attribution: BeginTask events carry the
+// task index, sequential spans carry -1.
+func TestSinkTaskSpans(t *testing.T) {
+	sink := &collectSink{}
+	rec := NewWithSink(NewManualClock(1), sink)
+	p := rec.Begin("clusters")
+	for i := 0; i < 3; i++ {
+		sp := p.BeginTask(i, "cluster")
+		sp.End()
+	}
+	p.End()
+
+	var tasks []int
+	for _, e := range sink.events {
+		if e.Kind == EventSpanBegin && e.Span == "cluster" {
+			tasks = append(tasks, e.Task)
+		}
+	}
+	if len(tasks) != 3 || tasks[0] != 0 || tasks[1] != 1 || tasks[2] != 2 {
+		t.Errorf("task indices = %v, want [0 1 2]", tasks)
+	}
+	for _, e := range sink.events {
+		if e.Span == "clusters" && e.Task != -1 {
+			t.Errorf("sequential span carries task %d, want -1", e.Task)
+		}
+	}
+}
+
+// TestSinklessRecorderUnchanged pins that a sink-less recorder behaves as
+// before: no panic, and the nil recorder stays inert through the emit path.
+func TestSinklessRecorderUnchanged(t *testing.T) {
+	rec := New(NewManualClock(1))
+	sp := rec.Begin("stage")
+	sp.End()
+	rec.AddLevel(LevelQoR{})
+	rec.Snapshot()
+
+	var disabled *Recorder
+	disabled.emit(Event{Kind: EventSpanBegin})
+	disabled.AddLevel(LevelQoR{})
+	disabled.Begin("x").End()
+}

@@ -31,6 +31,7 @@ func (s *Span) Begin(name string) *Span {
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
+	s.rec.emit(Event{Kind: EventSpanBegin, Span: name, Task: -1, AtNs: c.start})
 	return c
 }
 
@@ -48,6 +49,7 @@ func (s *Span) BeginTask(i int, name string) *Span {
 	}
 	s.tasks[i] = c
 	s.mu.Unlock()
+	s.rec.emit(Event{Kind: EventSpanBegin, Span: name, Task: i, AtNs: c.start})
 	return c
 }
 
@@ -56,9 +58,11 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	if d := s.rec.clock.Now() - s.start; d > 0 {
+	now := s.rec.clock.Now()
+	if d := now - s.start; d > 0 {
 		s.dur = d
 	}
+	s.rec.emit(Event{Kind: EventSpanEnd, Span: s.name, Task: s.task, AtNs: now, DurNs: s.dur})
 }
 
 // Name returns the span's name ("" on nil).

@@ -1,0 +1,54 @@
+package server_test
+
+import (
+	"strings"
+	"testing"
+
+	"sllt/internal/server"
+)
+
+func TestDecodeJobRequest(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr string // substring; empty means accept
+	}{
+		{"minimal", `{"lef":"L","def":"D"}`, ""},
+		{"full", `{"design":"x","net":"clk","lef":"L","def":"D","liberty":"lib",
+			"options":{"engine":"commercial","skew_ps":60,"fanout":24,"max_cap_ff":120,"seed":7,"workers":4}}`, ""},
+		{"missing lef", `{"def":"D"}`, `"lef"`},
+		{"missing def", `{"lef":"L"}`, `"def"`},
+		{"unknown field", `{"lef":"L","def":"D","lefdef":"typo"}`, "unknown field"},
+		{"unknown option", `{"lef":"L","def":"D","options":{"skew":80}}`, "unknown field"},
+		{"bad engine", `{"lef":"L","def":"D","options":{"engine":"magic"}}`, "unknown engine"},
+		{"negative skew", `{"lef":"L","def":"D","options":{"skew_ps":-1}}`, "skew_ps"},
+		{"negative fanout", `{"lef":"L","def":"D","options":{"fanout":-2}}`, "fanout"},
+		{"negative cap", `{"lef":"L","def":"D","options":{"max_cap_ff":-0.5}}`, "max_cap_ff"},
+		{"workers over cap", `{"lef":"L","def":"D","options":{"workers":5000}}`, "workers"},
+		{"negative workers", `{"lef":"L","def":"D","options":{"workers":-1}}`, "workers"},
+		{"trailing data", `{"lef":"L","def":"D"}{"again":true}`, "trailing data"},
+		{"not json", `DESIGN top ;`, "job request"},
+		{"empty", ``, "job request"},
+		{"wrong type", `{"lef":"L","def":"D","options":{"fanout":"many"}}`, "job request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := server.DecodeJobRequest([]byte(tc.in))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("DecodeJobRequest: %v", err)
+				}
+				if req.LEF == "" || req.DEF == "" {
+					t.Fatalf("accepted request lost required fields: %+v", req)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted %q, want error containing %q", tc.in, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

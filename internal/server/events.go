@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+
+	"sync"
+
+	"sllt/internal/obs"
+)
+
+// eventLog is one job's progress stream: an append-only buffer of NDJSON
+// lines with replay-then-follow semantics. A subscriber reads everything
+// recorded so far, then waits on the wake channel for more; close marks the
+// stream complete so followers drain and return instead of waiting forever.
+// Safe for concurrent appenders (parallel flow tasks emit span events) and
+// any number of concurrent readers.
+type eventLog struct {
+	mu     sync.Mutex
+	lines  [][]byte
+	closed bool
+	wake   chan struct{} // closed and replaced on every append/close
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// append records one NDJSON line (the trailing newline is the caller's).
+// No-op after close.
+func (l *eventLog) append(line []byte) {
+	l.mu.Lock()
+	if !l.closed {
+		l.lines = append(l.lines, line)
+		close(l.wake)
+		l.wake = make(chan struct{})
+	}
+	l.mu.Unlock()
+}
+
+// close completes the stream and wakes all waiters.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.wake)
+	}
+	l.mu.Unlock()
+}
+
+// since returns the lines recorded at or after index from, the index to
+// resume from, whether the stream is complete, and a channel that closes
+// when either changes.
+func (l *eventLog) since(from int) (lines [][]byte, next int, done bool, wake <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < len(l.lines) {
+		lines = l.lines[from:len(l.lines):len(l.lines)]
+	}
+	return lines, len(l.lines), l.closed, l.wake
+}
+
+// jobSink adapts an eventLog to obs.Sink: every recorder event serializes
+// to one NDJSON line. Marshal order is the Event struct's field order, so a
+// serial run under a ManualClock yields a byte-stable stream — what the
+// progress-golden test pins.
+type jobSink struct{ log *eventLog }
+
+func (s jobSink) Emit(e obs.Event) {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return // Event is a plain struct; Marshal cannot fail on it
+	}
+	s.log.append(append(line, '\n'))
+}
+
+// stateEvent is the job-lifecycle line interleaved with the recorder's
+// span/level events: queued, running, then exactly one terminal state.
+type stateEvent struct {
+	Kind  string `json:"kind"` // always "job_state"
+	JobID string `json:"job_id"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	AtNs  int64  `json:"at_ns"` // unit: ns
+}
+
+// appendState records a job-lifecycle line on the log.
+func (l *eventLog) appendState(id string, state State, errMsg string, atNs int64) {
+	line, err := json.Marshal(stateEvent{Kind: "job_state", JobID: id, State: state, Error: errMsg, AtNs: atNs})
+	if err != nil {
+		return
+	}
+	l.append(append(line, '\n'))
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+
+	"sllt/internal/baseline"
+	"sllt/internal/cache"
+	"sllt/internal/cts"
+	"sllt/internal/design"
+	"sllt/internal/lefdef"
+	"sllt/internal/liberty"
+	"sllt/internal/obs"
+	"sllt/internal/tree"
+)
+
+// FlowResult is what one job produces: the post-CTS DEF exactly as the
+// offline slltcts -out flag would write it, the canonical tree fingerprint,
+// the versioned run report, and the level/cluster shape for status.
+type FlowResult struct {
+	DEF         []byte
+	Fingerprint string
+	Report      []byte // canonical JSON, schema sllt.obs.report/v1.1
+	Levels      int
+	Clusters    []int
+}
+
+// FlowFunc runs one synthesis job. The server owns scheduling (ctx, the
+// worker budget, the shared cache, the recorder feeding the progress
+// stream); the flow owns everything between request bytes and result
+// bytes. Tests substitute slow or failing flows to drive the queue.
+type FlowFunc func(ctx context.Context, req *JobRequest, workers int, rec *obs.Recorder, store *cache.Cache) (*FlowResult, error)
+
+// RunFlow is the production flow: the same parse -> synthesize -> export
+// pipeline as cmd/slltcts, fed from the request strings instead of files.
+// Both paths stream through the fixed-buffer Parse*Reader ingests and the
+// streaming DEF exporter, so for identical inputs the daemon's DEF is
+// byte-identical to the offline CLI's — the property the e2e test pins.
+func RunFlow(ctx context.Context, req *JobRequest, workers int, rec *obs.Recorder, store *cache.Cache) (*FlowResult, error) {
+	lef, err := lefdef.ParseLEFReader(strings.NewReader(req.LEF))
+	if err != nil {
+		return nil, fmt.Errorf("lef: %w", err)
+	}
+	df, err := lefdef.ParseDEFReader(strings.NewReader(req.DEF))
+	if err != nil {
+		return nil, fmt.Errorf("def: %w", err)
+	}
+	d, err := design.FromLEFDEF(lef, df, req.Net)
+	if err != nil {
+		return nil, err
+	}
+	if req.Design != "" {
+		d.Name = req.Design
+	}
+
+	var opts cts.Options
+	switch req.Options.Engine {
+	case "", "ours":
+		opts = cts.DefaultOptions()
+	case "commercial":
+		opts = baseline.CommercialLike()
+	case "openroad":
+		opts = baseline.OpenROADLike()
+	default:
+		// validate() already refused unknown engines; keep the guard for
+		// callers constructing requests directly.
+		return nil, fmt.Errorf("unknown engine %q", req.Options.Engine)
+	}
+	if req.Liberty != "" {
+		lib, err := liberty.ParseReader(strings.NewReader(req.Liberty))
+		if err != nil {
+			return nil, fmt.Errorf("liberty: %w", err)
+		}
+		opts.Lib = lib
+	}
+	if req.Options.SkewPs > 0 {
+		opts.Cons.SkewBound = req.Options.SkewPs
+	}
+	if req.Options.Fanout > 0 {
+		opts.Cons.MaxFanout = req.Options.Fanout
+	}
+	if req.Options.MaxCapFF > 0 {
+		opts.Cons.MaxCap = req.Options.MaxCapFF
+	}
+	if req.Options.Seed != 0 {
+		opts.Seed = req.Options.Seed
+	}
+	opts.Workers = workers
+	opts.Obs = rec
+	opts.Cache = store
+	opts.Ctx = ctx
+
+	res, err := cts.Run(d, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var buf bytes.Buffer
+	if _, err := cts.ExportDEFWriter(&buf, d, res); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	out := &FlowResult{
+		DEF:         buf.Bytes(),
+		Fingerprint: tree.Fingerprint(res.Tree),
+		Levels:      res.Levels,
+		Clusters:    res.Clusters,
+	}
+	if rec.Enabled() {
+		rep := rec.Snapshot()
+		data, err := rep.JSON()
+		if err != nil {
+			return nil, fmt.Errorf("report: %w", err)
+		}
+		out.Report = data
+	}
+	return out, nil
+}

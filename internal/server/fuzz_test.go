@@ -1,0 +1,51 @@
+package server_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"sllt/internal/server"
+)
+
+// FuzzDecodeJobRequest asserts the submission decoder returns errors —
+// never panics — on arbitrary bytes, and pins two invariants on anything
+// it accepts: required fields survived the decode, and the accepted request
+// round-trips through encode/decode unchanged (the strict decoder accepts
+// its own canonical encoding). The committed corpus under
+// testdata/fuzz/FuzzDecodeJobRequest keeps past regression inputs in CI's
+// 30s smoke run.
+func FuzzDecodeJobRequest(f *testing.F) {
+	f.Add([]byte(`{"lef":"L","def":"D"}`))
+	f.Add([]byte(`{"design":"x","net":"clk","lef":"L","def":"D","liberty":"lib",
+		"options":{"engine":"ours","skew_ps":80,"fanout":32,"max_cap_ff":150,"seed":1,"workers":8}}`))
+	f.Add([]byte(`{"lef":"L","def":"D","options":{"engine":"openroad"}}`))
+	f.Add([]byte(`{"lef":"L","def":"D","options":{"workers":4096}}`))
+	f.Add([]byte(`{"lef":"L","def":"D","unknown":1}`))
+	f.Add([]byte(`{"lef":"L","def":"D"}{"trailing":true}`))
+	f.Add([]byte(`{"options":{"skew_ps":-1}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte("\x00\xff{"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := server.DecodeJobRequest(data)
+		if err != nil {
+			return
+		}
+		if req.LEF == "" || req.DEF == "" {
+			t.Fatalf("accepted a request without lef/def: %+v", req)
+		}
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encoding an accepted request: %v", err)
+		}
+		again, err := server.DecodeJobRequest(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip drift:\nfirst:  %+v\nsecond: %+v", req, again)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package server_test
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sllt/internal/obs"
+	"sllt/internal/server"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the progress-stream golden fixture")
+
+// TestProgressStreamGolden pins the progress feed byte for byte. With the
+// manual clock, an injected job-ID source, one runner and a serial worker
+// budget, every clock read and event emission happens in one deterministic
+// sequence — so the NDJSON a client receives is identical on every machine
+// and any drift in the event schema, the span structure or the flow's stage
+// order shows up as a fixture diff. Regenerate deliberately with -update.
+func TestProgressStreamGolden(t *testing.T) {
+	lefSrc, defSrc := fixtureSources(200, 40, 7)
+
+	seq := 0
+	s := server.New(server.Config{
+		QueueDepth: 2,
+		Runners:    1,
+		Workers:    1,
+		Clock:      obs.NewManualClock(1000),
+		NewJobID: func() string {
+			seq++
+			return fmt.Sprintf("golden-%d", seq)
+		},
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var st server.JobStatus
+	if resp := postJob(t, ts.URL, &server.JobRequest{LEF: lefSrc, DEF: defSrc}, &st); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d, want 202", resp.StatusCode)
+	}
+	if st.JobID != "golden-1" {
+		t.Fatalf("injected ID source ignored: job ID %q", st.JobID)
+	}
+	pollUntil(t, ts.URL, st.JobID, func(s server.JobStatus) bool { return s.State == server.StateDone })
+
+	code, events := getBytes(t, ts.URL+"/jobs/"+st.JobID+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("GET events = %d, want 200", code)
+	}
+
+	golden := filepath.Join("testdata", "progress_golden.ndjson")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, events, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(events))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v — run with -update to create the fixture", err)
+	}
+	if string(events) != string(want) {
+		t.Errorf("progress stream drifted from %s (got %d bytes, want %d); rerun with -update if the change is intentional",
+			golden, len(events), len(want))
+	}
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JobRequest is the POST /jobs payload: the design sources inline plus the
+// synthesis knobs. The LEF/DEF/Liberty strings are the same text the
+// offline CLIs read from disk; at ingest they stream through the repo's
+// fixed-buffer Parse*Reader paths, so a request is parsed with the same
+// bounded-memory machinery as a file.
+type JobRequest struct {
+	// Design, when non-empty, overrides the DEF's DESIGN name in reports.
+	Design string `json:"design,omitempty"`
+	// Net names the clock net; empty selects the first USE CLOCK net.
+	Net string `json:"net,omitempty"`
+	// LEF and DEF are the design sources (required).
+	LEF string `json:"lef"`
+	DEF string `json:"def"`
+	// Liberty, when non-empty, replaces the built-in buffer library.
+	Liberty string `json:"liberty,omitempty"`
+	// Options are the synthesis knobs; the zero value means server defaults.
+	Options JobOptions `json:"options"`
+}
+
+// JobOptions mirrors the slltcts flags. Zero values select the engine
+// defaults, so a minimal request is just {lef, def}.
+type JobOptions struct {
+	// Engine is "ours" (default), "commercial" or "openroad".
+	Engine string `json:"engine,omitempty"`
+	// SkewPs overrides the skew bound when > 0.
+	SkewPs float64 `json:"skew_ps,omitempty"` // unit: ps
+	// Fanout overrides the max fanout when > 0.
+	Fanout int `json:"fanout,omitempty"`
+	// MaxCapFF overrides the max stage capacitance when > 0.
+	MaxCapFF float64 `json:"max_cap_ff,omitempty"` // unit: fF
+	// Seed overrides the random seed when != 0.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers caps this job's goroutines; the server clamps it to the
+	// per-job share of its global worker budget. <= 0 takes the full share.
+	Workers int `json:"workers,omitempty"`
+}
+
+// maxWorkersOption bounds the per-job worker request; anything above is a
+// client error rather than a silent clamp.
+const maxWorkersOption = 4096
+
+// DecodeJobRequest parses and validates a job-submission payload. The
+// decode is strict — unknown fields, trailing data and out-of-range knobs
+// are errors, so a typo'd field name can never silently select a default.
+// It never panics on arbitrary input (FuzzDecodeJobRequest) and an accepted
+// request survives an encode/decode round trip unchanged.
+func DecodeJobRequest(data []byte) (*JobRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	req := &JobRequest{}
+	if err := dec.Decode(req); err != nil {
+		return nil, fmt.Errorf("job request: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, fmt.Errorf("job request: trailing data after JSON object")
+	}
+	if err := req.validate(); err != nil {
+		return nil, fmt.Errorf("job request: %w", err)
+	}
+	return req, nil
+}
+
+// validate checks the decoded request's semantic constraints.
+func (r *JobRequest) validate() error {
+	if r.LEF == "" {
+		return fmt.Errorf("missing required field \"lef\"")
+	}
+	if r.DEF == "" {
+		return fmt.Errorf("missing required field \"def\"")
+	}
+	switch r.Options.Engine {
+	case "", "ours", "commercial", "openroad":
+	default:
+		return fmt.Errorf("unknown engine %q (want ours, commercial or openroad)", r.Options.Engine)
+	}
+	if r.Options.SkewPs < 0 {
+		return fmt.Errorf("skew_ps %v out of range (want >= 0)", r.Options.SkewPs)
+	}
+	if r.Options.Fanout < 0 {
+		return fmt.Errorf("fanout %d out of range (want >= 0)", r.Options.Fanout)
+	}
+	if r.Options.MaxCapFF < 0 {
+		return fmt.Errorf("max_cap_ff %v out of range (want >= 0)", r.Options.MaxCapFF)
+	}
+	if r.Options.Workers < 0 || r.Options.Workers > maxWorkersOption {
+		return fmt.Errorf("workers %d out of range (want 0..%d)", r.Options.Workers, maxWorkersOption)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"sllt/internal/cache"
+	"sllt/internal/obs"
+	"sllt/internal/server"
+)
+
+// gatedFlow is a FlowFunc that blocks until release closes (or the job is
+// cancelled), letting tests hold the queue at a known occupancy.
+func gatedFlow(release <-chan struct{}) server.FlowFunc {
+	return func(ctx context.Context, req *server.JobRequest, workers int, rec *obs.Recorder, store *cache.Cache) (*server.FlowResult, error) {
+		select {
+		case <-release:
+			return &server.FlowResult{DEF: []byte("DESIGN stub ;\n"), Fingerprint: "stub-fp"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// TestSaturationLoadShedding drives the daemon at 4x its admission capacity
+// while the single runner is wedged, and requires bounded-queue behavior:
+// exactly the capacity's worth of jobs admitted with 202, everything beyond
+// shed with 429 + Retry-After — never buffered, never blocked. After the
+// runner is released every admitted job completes. The race CI job runs
+// this test under -race, so the concurrent submissions also double as a
+// data-race probe on the admission path.
+func TestSaturationLoadShedding(t *testing.T) {
+	release := make(chan struct{})
+	const queueDepth, runners = 2, 1
+	capacity := queueDepth + runners // wedged runner holds 1, queue holds 2
+	s := server.New(server.Config{
+		QueueDepth: queueDepth,
+		Runners:    runners,
+		Flow:       gatedFlow(release),
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(&server.JobRequest{LEF: "l", DEF: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const submissions = 4 * (queueDepth + runners) // 4x capacity, concurrently
+	type outcome struct {
+		code       int
+		retryAfter string
+		jobID      string
+	}
+	outcomes := make([]outcome, submissions)
+	var wg sync.WaitGroup
+	for i := 0; i < submissions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("submission %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var st server.JobStatus
+			if resp.StatusCode == http.StatusAccepted {
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					t.Errorf("submission %d: %v", i, err)
+					return
+				}
+			}
+			outcomes[i] = outcome{code: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After"), jobID: st.JobID}
+		}(i)
+	}
+	wg.Wait()
+
+	var accepted []string
+	shed := 0
+	for i, o := range outcomes {
+		switch o.code {
+		case http.StatusAccepted:
+			accepted = append(accepted, o.jobID)
+		case http.StatusTooManyRequests:
+			shed++
+			if o.retryAfter == "" {
+				t.Errorf("submission %d: 429 without Retry-After", i)
+			}
+		default:
+			t.Errorf("submission %d: status %d, want 202 or 429", i, o.code)
+		}
+	}
+	// The queue is bounded: admissions can never exceed capacity. At least
+	// the queue's worth must get in (the runner may or may not have claimed
+	// one before the burst landed), and everything else must have been shed.
+	if len(accepted) > capacity {
+		t.Errorf("admitted %d jobs, capacity is %d — queue is not bounded", len(accepted), capacity)
+	}
+	if len(accepted) < queueDepth {
+		t.Errorf("admitted %d jobs, want >= the queue depth %d", len(accepted), queueDepth)
+	}
+	if want := submissions - len(accepted); shed != want {
+		t.Errorf("shed %d submissions, want %d", shed, want)
+	}
+
+	stats := s.Stats()
+	if stats.Shed != int64(shed) {
+		t.Errorf("stats.Shed = %d, want %d", stats.Shed, shed)
+	}
+	if stats.Jobs != len(accepted) {
+		t.Errorf("stats.Jobs = %d, want %d admitted", stats.Jobs, len(accepted))
+	}
+
+	// Releasing the runner lets every admitted job finish — shedding lost
+	// requests, never accepted work.
+	close(release)
+	for _, id := range accepted {
+		st := pollUntil(t, ts.URL, id, func(s server.JobStatus) bool { return s.State == server.StateDone })
+		if st.Fingerprint != "stub-fp" {
+			t.Errorf("job %s finished without its result", id)
+		}
+	}
+}
+
+// TestDrainGracefulShutdown pins the SIGTERM path: draining refuses new
+// work with 503 while letting admitted jobs finish; Drain honors its
+// context deadline when they don't.
+func TestDrainGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	s := server.New(server.Config{QueueDepth: 2, Runners: 1, Flow: gatedFlow(release)})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var st server.JobStatus
+	if resp := postJob(t, ts.URL, &server.JobRequest{LEF: "l", DEF: "d"}, &st); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d, want 202", resp.StatusCode)
+	}
+
+	// The wedged job keeps Drain from completing within a short deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	err := s.Drain(ctx)
+	cancel()
+	if err == nil {
+		t.Fatal("Drain returned nil with a job still running")
+	}
+
+	// Draining: admissions now refuse with 503.
+	if resp := postJob(t, ts.URL, &server.JobRequest{LEF: "l", DEF: "d"}, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /jobs while draining = %d, want 503", resp.StatusCode)
+	}
+
+	// Release the flow: the admitted job finishes and Drain completes.
+	close(release)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := s.Drain(ctx2); err != nil {
+		t.Fatalf("Drain after release: %v", err)
+	}
+	final := pollUntil(t, ts.URL, st.JobID, func(s server.JobStatus) bool { return s.State == server.StateDone })
+	if final.State != server.StateDone {
+		t.Fatalf("drained job state = %s, want done", final.State)
+	}
+}
